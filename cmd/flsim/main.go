@@ -1,0 +1,140 @@
+// Command flsim runs one federated-learning simulation with explicit
+// knobs: dataset, algorithm, partition, and engine parameters.
+//
+// Usage:
+//
+//	flsim -dataset fmnist -alg TACO -clients 20 -rounds 25 -k 10 -lr 0.05
+//	flsim -dataset adult -alg Scaffold -partition dir -phi 0.1
+//	flsim -dataset fmnist -alg TACO -freeloaders 8 -detect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dsName      = flag.String("dataset", "fmnist", "dataset: "+strings.Join(dataset.Names(), "|"))
+		algName     = flag.String("alg", "TACO", "algorithm: "+strings.Join(append(experiments.AlgorithmNames(), "FedProx(TACO)", "Scaffold(TACO)"), "|"))
+		clients     = flag.Int("clients", 20, "number of clients")
+		rounds      = flag.Int("rounds", 25, "communication rounds T")
+		localSteps  = flag.Int("k", 10, "local steps per round K")
+		batch       = flag.Int("batch", 24, "mini-batch size s")
+		lr          = flag.Float64("lr", 0.05, "local learning rate ηl")
+		globalLR    = flag.Float64("glr", 0, "global learning rate ηg (0 = K·ηl)")
+		partKind    = flag.String("partition", "groups", "partition: groups|dir|iid|natural")
+		phi         = flag.Float64("phi", 0.5, "Dirichlet concentration for -partition dir")
+		seed        = flag.Uint64("seed", 7, "random seed")
+		scaleName   = flag.String("scale", "small", "dataset scale: small|full")
+		freeloaders = flag.Int("freeloaders", 0, "replace the last N clients with freeloaders")
+		detect      = flag.Bool("detect", false, "enable TACO freeloader detection")
+		weightData  = flag.Bool("weight-by-data", false, "aggregate with p_i = D_i/D")
+	)
+	flag.Parse()
+
+	scale := dataset.ScaleSmall
+	if *scaleName == "full" {
+		scale = dataset.ScaleFull
+	}
+	train, test, err := dataset.Standard(*dsName, scale, *seed)
+	if err != nil {
+		return err
+	}
+	net, err := dataset.Model(*dsName)
+	if err != nil {
+		return err
+	}
+	r := rng.New(*seed).Derive("partition", 0)
+	var part *partition.Partition
+	switch *partKind {
+	case "groups":
+		part, _, err = partition.Groups(train, partition.PaperGroups(*clients), r)
+	case "dir":
+		part, err = partition.Dirichlet(train, *clients, *phi, r)
+	case "iid":
+		part, err = partition.IID(train, *clients, r)
+	case "natural":
+		part, err = partition.ByNaturalGroups(train, *clients, r)
+	default:
+		err = fmt.Errorf("unknown partition %q", *partKind)
+	}
+	if err != nil {
+		return err
+	}
+
+	var alg fl.Algorithm
+	if *algName == "TACO" && *detect {
+		cfg := core.Recommended()
+		cfg.DetectFreeloaders = true
+		alg = core.New(cfg)
+	} else {
+		alg, err = experiments.NewAlgorithm(*algName)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := fl.Config{
+		Rounds:       *rounds,
+		LocalSteps:   *localSteps,
+		BatchSize:    *batch,
+		LocalLR:      *lr,
+		GlobalLR:     *globalLR,
+		Seed:         *seed,
+		WeightByData: *weightData,
+	}
+	if *freeloaders > 0 {
+		if *freeloaders >= *clients {
+			return fmt.Errorf("need at least one honest client")
+		}
+		for id := *clients - *freeloaders; id < *clients; id++ {
+			cfg.Freeloaders = append(cfg.Freeloaders, id)
+		}
+	}
+
+	res, err := fl.Run(cfg, alg, net, part.Shards(train), test)
+	if err != nil {
+		return err
+	}
+
+	run := res.Run
+	accs := make([]float64, len(run.Rounds))
+	for i, rec := range run.Rounds {
+		fmt.Printf("round %3d  acc %.4f  loss %.4f  t_model %.3fs  t_real %.3fs\n",
+			rec.Index+1, rec.Accuracy, rec.TrainLoss, rec.SlowestModeledSec, rec.SlowestMeasuredSec)
+		accs[i] = rec.Accuracy
+	}
+	fmt.Printf("\n%s on %s: final %.4f, best %.4f  %s\n",
+		alg.Name(), *dsName, run.FinalAccuracy(), run.BestAccuracy(), report.Sparkline(accs, 0, 1))
+	if run.Diverged {
+		fmt.Printf("DIVERGED at round %d (the paper's '×' outcome)\n", run.DivergedRound)
+	}
+	if len(res.Expelled) > 0 {
+		ids := make([]int, 0, len(res.Expelled))
+		for id := range res.Expelled {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Printf("expelled clients: %v\n", ids)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command taco-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	taco-bench -exp table5           # one experiment, quick profile
+//	taco-bench -exp all -scale full  # everything, full profile
+//	taco-bench -list                 # show available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "taco-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp     = flag.String("exp", "", "experiment id (or 'all')")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "print per-run progress")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return nil
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (use -list to see ids)")
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.ScaleQuick
+	case "full":
+		sc = experiments.ScaleFull
+	case "bench":
+		sc = experiments.ScaleBench
+	default:
+		return fmt.Errorf("unknown scale %q (bench|quick|full)", *scale)
+	}
+
+	runner := experiments.NewRunner(sc)
+	runner.Seed = *seed
+	if *verbose {
+		runner.Progress = os.Stderr
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		artifacts, err := experiments.Run(id, runner)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Printf("=== %s (scale=%s, %.1fs) ===\n", id, sc, time.Since(start).Seconds())
+		for _, a := range artifacts {
+			a.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	return nil
+}

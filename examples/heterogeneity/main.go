@@ -1,0 +1,57 @@
+// Heterogeneity sweeps the Dirichlet concentration φ from near-IID to
+// extreme label skew on the adult stand-in and compares FedAvg against
+// TACO, showing that tailored correction matters more as heterogeneity
+// grows (the paper's motivating setting).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	taco "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	train, test, err := taco.Dataset("adult", taco.ScaleSmall, 1)
+	if err != nil {
+		return err
+	}
+	model, err := taco.ModelFor("adult")
+	if err != nil {
+		return err
+	}
+	cfg := taco.TrainConfig{
+		Rounds:     20,
+		LocalSteps: 10,
+		BatchSize:  24,
+		LocalLR:    0.03,
+		Seed:       7,
+	}
+
+	fmt.Println("φ (Dirichlet)  FedAvg   TACO     gap")
+	for _, phi := range []float64{5.0, 0.5, 0.1} {
+		shards, err := taco.PartitionDirichlet(train, 20, phi, 2)
+		if err != nil {
+			return err
+		}
+		accs := make(map[string]float64, 2)
+		for _, alg := range []taco.Algorithm{taco.NewFedAvg(), taco.NewTACO()} {
+			res, err := taco.Train(cfg, alg, model, shards, test)
+			if err != nil {
+				return err
+			}
+			accs[alg.Name()] = res.Run.FinalAccuracy()
+		}
+		fmt.Printf("%-14.1f %.4f   %.4f   %+.4f\n",
+			phi, accs["FedAvg"], accs["TACO"], accs["TACO"]-accs["FedAvg"])
+	}
+	fmt.Println("\nsmaller φ = stronger label skew; under skew TACO tracks or beats FedAvg")
+	fmt.Println("(single-seed runs are noisy — average several seeds for a stable gap).")
+	return nil
+}

@@ -1,0 +1,81 @@
+// Overcorrection demonstrates the paper's central finding (Section III):
+// uniform correction coefficients over-correct heterogeneous clients. It
+// trains FedAvg, Scaffold (uniform α = 1), FedProx (uniform ζ), TACO, and
+// the two Fig. 6 hybrids on the hard SVHN stand-in and prints each
+// method's trajectory, highlighting instability and divergence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	taco "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	train, test, err := taco.Dataset("svhn", taco.ScaleSmall, 1)
+	if err != nil {
+		return err
+	}
+	model, err := taco.ModelFor("svhn")
+	if err != nil {
+		return err
+	}
+	shards, err := taco.PartitionGroups(train, 20, 2)
+	if err != nil {
+		return err
+	}
+	cfg := taco.TrainConfig{
+		Rounds:     20,
+		LocalSteps: 15,
+		BatchSize:  24,
+		LocalLR:    0.08,
+		Seed:       7,
+	}
+
+	algs := []taco.Algorithm{
+		taco.NewFedAvg(),
+		taco.NewFedProx(),
+		taco.NewScaffold(),
+		taco.NewTACO(),
+		taco.NewFedProxTACO(),
+		taco.NewScaffoldTACO(),
+	}
+	fmt.Println("Over-correction on a hard non-IID dataset (svhn stand-in):")
+	for _, alg := range algs {
+		res, err := taco.Train(cfg, alg, model, shards, test)
+		if err != nil {
+			return err
+		}
+		run := res.Run
+		status := "converged"
+		if run.Diverged {
+			status = fmt.Sprintf("DIVERGED at round %d", run.DivergedRound)
+		}
+		// Instability: mean absolute round-to-round accuracy change over
+		// the second half of training.
+		var jitter float64
+		half := run.Rounds[len(run.Rounds)/2:]
+		for i := 1; i < len(half); i++ {
+			d := half[i].Accuracy - half[i-1].Accuracy
+			if d < 0 {
+				d = -d
+			}
+			jitter += d
+		}
+		if len(half) > 1 {
+			jitter /= float64(len(half) - 1)
+		}
+		fmt.Printf("%-16s final=%.4f best=%.4f instability=%.4f  %s\n",
+			alg.Name(), run.FinalAccuracy(), run.BestAccuracy(), jitter, status)
+	}
+	fmt.Println("\nexpected shape: the uniform-coefficient methods trail FedAvg or destabilize;")
+	fmt.Println("TACO and the tailored hybrids track or beat FedAvg with low instability.")
+	return nil
+}

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// FedACG (Kim et al., 2024) combines server-side momentum acceleration
+// with a FedProx-style regularizer: the server broadcasts a lookahead
+// model w^t + λm^t, clients regularize toward it with weight β (Algorithm
+// 1 line 4), and the server folds the averaged delta back into its
+// momentum (line 10). Both β and λ are uniform across clients.
+type FedACG struct {
+	fl.Base
+	// Beta is β, the regularization weight (paper default 0.001).
+	Beta float64
+	// Lambda is the server momentum decay λ.
+	Lambda float64
+
+	m     []float64 // server momentum, model-space
+	avg   []float64 // scratch for the round's mean delta
+	start []float64 // the broadcast lookahead w^t + λm^t
+}
+
+// NewFedACG returns FedACG with regularization weight beta and server
+// momentum decay 0.6. The TACO paper's Algorithm 1 leaves the momentum
+// update unspecified ("Update auxiliary parameters m^{t+1}"); λ = 0.6
+// keeps FedACG a strong accelerated baseline without letting the
+// acceleration dwarf every drift-correction effect at this reproduction's
+// scale (see DESIGN.md §5).
+func NewFedACG(beta float64) *FedACG { return &FedACG{Beta: beta, Lambda: 0.6} }
+
+var _ fl.Algorithm = (*FedACG)(nil)
+
+// Name implements fl.Algorithm.
+func (a *FedACG) Name() string { return "FedACG" }
+
+// Setup implements fl.Algorithm.
+func (a *FedACG) Setup(env *fl.Env) {
+	a.m = make([]float64, env.NumParams)
+	a.avg = make([]float64, env.NumParams)
+	a.start = make([]float64, env.NumParams)
+}
+
+// LocalInit starts every client at the lookahead model w^t + λm^t.
+func (a *FedACG) LocalInit(_, _ int, w []float64, out []float64) {
+	for j := range out {
+		out[j] = w[j] + a.Lambda*a.m[j]
+	}
+}
+
+// GradAdjust adds the regularizer gradient β(w_{i,k} − (w^t + λm^t));
+// the lookahead is exactly the round's starting point W0.
+func (a *FedACG) GradAdjust(ctx *fl.StepCtx) {
+	for j, wj := range ctx.W {
+		ctx.Grad[j] += a.Beta * (wj - ctx.W0[j])
+	}
+}
+
+// Aggregate folds the mean delta into the server momentum and applies it:
+// m^{t+1} = λm^t − mean(∆_i)·(ηg/(K·ηl)),  w^{t+1} = w^t + m^{t+1}.
+// With λ = 0 this reduces exactly to the FedAvg step.
+func (a *FedACG) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	weights := fl.AggregationWeights(updates, s.Env.Cfg.WeightByData)
+	vecmath.Zero(a.avg)
+	for i, u := range updates {
+		vecmath.AXPY(weights[i], u.Delta, a.avg)
+	}
+	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
+	for j := range a.m {
+		a.m[j] = a.Lambda*a.m[j] - scale*a.avg[j]
+		s.W[j] += a.m[j]
+	}
+}
+
+// Costs implements fl.Algorithm: the momentum-shifted proximal term is
+// evaluated inside the training loss every step.
+func (a *FedACG) Costs() simclock.Costs {
+	return simclock.Costs{GradEvalsPerStep: 1, AuxPerStep: simclock.CostACGTerm}
+}

@@ -1,0 +1,29 @@
+// Package baselines implements the six pioneering FL algorithms the paper
+// re-evaluates (Algorithm 1): FedAvg, FedProx, FoolsGold, Scaffold, STEM,
+// and FedACG. Each is expressed as hooks over the engine in internal/fl;
+// the color-coded deviations from FedAvg in the paper's Algorithm 1 map
+// one-to-one onto the overridden methods here.
+package baselines
+
+import (
+	"repro/internal/fl"
+)
+
+// FedAvg is vanilla federated averaging (McMahan et al., 2017): plain
+// local SGD and weighted delta averaging, with no correction anywhere.
+type FedAvg struct {
+	fl.Base
+}
+
+// NewFedAvg returns the FedAvg baseline.
+func NewFedAvg() *FedAvg { return &FedAvg{} }
+
+var _ fl.Algorithm = (*FedAvg)(nil)
+
+// Name implements fl.Algorithm.
+func (a *FedAvg) Name() string { return "FedAvg" }
+
+// Aggregate implements Eq. (6) with ∆^{t+1} = Σ p_i ∆_i/(K·ηl).
+func (a *FedAvg) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	fl.FedAvgStep(s, updates)
+}

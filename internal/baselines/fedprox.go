@@ -1,0 +1,42 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/simclock"
+)
+
+// FedProx (Li et al., 2020) adds the proximal term ζ/2·‖w − w^t‖² to every
+// client's loss (Algorithm 1 line 4), which contributes ζ(w − w^t) to each
+// step gradient. The coefficient ζ is uniform across clients — the
+// property the paper identifies as the source of over-correction.
+type FedProx struct {
+	fl.Base
+	// Zeta is ζ, the proximal weight (paper default 0.1).
+	Zeta float64
+}
+
+// NewFedProx returns FedProx with proximal weight zeta.
+func NewFedProx(zeta float64) *FedProx { return &FedProx{Zeta: zeta} }
+
+var _ fl.Algorithm = (*FedProx)(nil)
+
+// Name implements fl.Algorithm.
+func (a *FedProx) Name() string { return "FedProx" }
+
+// GradAdjust adds the proximal gradient ζ(w_{i,k} − w^t).
+func (a *FedProx) GradAdjust(ctx *fl.StepCtx) {
+	for i, wi := range ctx.W {
+		ctx.Grad[i] += a.Zeta * (wi - ctx.W0[i])
+	}
+}
+
+// Aggregate implements fl.Algorithm with the vanilla FedAvg rule.
+func (a *FedProx) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	fl.FedAvgStep(s, updates)
+}
+
+// Costs implements fl.Algorithm: the proximal term is evaluated inside the
+// training loss every step.
+func (a *FedProx) Costs() simclock.Costs {
+	return simclock.Costs{GradEvalsPerStep: 1, AuxPerStep: simclock.CostProxTerm}
+}

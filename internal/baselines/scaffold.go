@@ -1,0 +1,87 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// Scaffold (Karimireddy et al., 2020) corrects every local step with
+// control variates: v_{i,k} = g_{i,k} + α(c − c_i) (Algorithm 1 line 6),
+// where c_i estimates client i's update direction and c the global one.
+// The correction strength α is uniform across clients (the paper fixes
+// α = 1 following the original work), which TACO identifies as the
+// over-correction culprit on heterogeneous data.
+type Scaffold struct {
+	fl.Base
+	// Alpha is the uniform correction coefficient α.
+	Alpha float64
+
+	c    []float64   // server control variate
+	ci   [][]float64 // per-client control variates
+	corr [][]float64 // per-client α(c − c_i), fixed during a round
+	k    int         // local steps, for the c_i refresh
+	lr   float64     // ηl
+}
+
+// NewScaffold returns Scaffold with correction strength alpha.
+func NewScaffold(alpha float64) *Scaffold { return &Scaffold{Alpha: alpha} }
+
+var _ fl.Algorithm = (*Scaffold)(nil)
+
+// Name implements fl.Algorithm.
+func (a *Scaffold) Name() string { return "Scaffold" }
+
+// Setup implements fl.Algorithm.
+func (a *Scaffold) Setup(env *fl.Env) {
+	a.c = make([]float64, env.NumParams)
+	a.ci = make([][]float64, env.NumClients)
+	a.corr = make([][]float64, env.NumClients)
+	for i := range a.ci {
+		a.ci[i] = make([]float64, env.NumParams)
+		a.corr[i] = make([]float64, env.NumParams)
+	}
+	a.k = env.Cfg.LocalSteps
+	a.lr = env.Cfg.LocalLR
+}
+
+// BeginLocal freezes the round's correction α(c − c_i) for client i.
+func (a *Scaffold) BeginLocal(clientID, _ int, _ []float64) {
+	corr := a.corr[clientID]
+	ci := a.ci[clientID]
+	for j := range corr {
+		corr[j] = a.Alpha * (a.c[j] - ci[j])
+	}
+}
+
+// GradAdjust adds the control-variate correction to the step gradient.
+func (a *Scaffold) GradAdjust(ctx *fl.StepCtx) {
+	vecmath.AXPY(1, a.corr[ctx.Client], ctx.Grad)
+}
+
+// EndLocal refreshes c_i with the paper's rule
+// c_i^{t+1} = c_i^t − c^t + ∆_i/(K·ηl).
+func (a *Scaffold) EndLocal(clientID, _ int, delta []float64) {
+	ci := a.ci[clientID]
+	inv := 1 / (float64(a.k) * a.lr)
+	for j := range ci {
+		ci[j] = ci[j] - a.c[j] + delta[j]*inv
+	}
+}
+
+// Aggregate applies the FedAvg step and refreshes the server control
+// variate c^{t+1} = c^t + (1/N)Σ(c_i^{t+1} − c_i^t). Since EndLocal already
+// replaced c_i in place with the new value, the equivalent incremental form
+// c^{t+1} = (1/N)Σ c_i^{t+1} over participating clients is used.
+func (a *Scaffold) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	fl.FedAvgStep(s, updates)
+	vecmath.Zero(a.c)
+	for _, u := range updates {
+		vecmath.AXPY(1/float64(len(updates)), a.ci[u.Client], a.c)
+	}
+}
+
+// Costs implements fl.Algorithm: one vector addition per local step.
+func (a *Scaffold) Costs() simclock.Costs {
+	return simclock.Costs{GradEvalsPerStep: 1, AuxPerStep: simclock.CostControlVariate}
+}

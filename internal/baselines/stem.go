@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"repro/internal/fl"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// STEM (Khanduri et al., 2021) applies stochastic two-sided momentum: each
+// local step builds the recursive estimator
+//
+//	v_{i,k} = g_{i,k} + (1 − α_t)(v_{i,k−1} − ∇f_i(w_{i,k−1}, ξ_{i,k}))
+//
+// (Algorithm 1 line 6), which requires a second gradient evaluation of the
+// current batch at the previous local iterate — the extra client
+// computation behind STEM's poor time-to-accuracy in the paper's Table I.
+// The server aggregates ∆_i together with the final momentum v_{i,K−1}.
+type STEM struct {
+	fl.Base
+	// AlphaT is the uniform momentum coefficient α_t (paper default 0.2).
+	AlphaT float64
+
+	v     [][]float64 // per-client momentum, persists across rounds
+	wPrev [][]float64 // per-client previous local iterate within a round
+	k     int
+	lr    float64
+	n     int
+}
+
+// NewSTEM returns STEM with momentum coefficient alphaT.
+func NewSTEM(alphaT float64) *STEM { return &STEM{AlphaT: alphaT} }
+
+var _ fl.Algorithm = (*STEM)(nil)
+
+// Name implements fl.Algorithm.
+func (a *STEM) Name() string { return "STEM" }
+
+// Setup implements fl.Algorithm.
+func (a *STEM) Setup(env *fl.Env) {
+	a.v = make([][]float64, env.NumClients)
+	a.wPrev = make([][]float64, env.NumClients)
+	for i := range a.v {
+		a.v[i] = make([]float64, env.NumParams)
+		a.wPrev[i] = make([]float64, env.NumParams)
+	}
+	a.k = env.Cfg.LocalSteps
+	a.lr = env.Cfg.LocalLR
+	a.n = env.NumClients
+}
+
+// BeginLocal seeds the round's previous iterate with w_{i,0}, so the first
+// step's correction term vanishes (∇f at the same point cancels g).
+func (a *STEM) BeginLocal(clientID, _ int, w0 []float64) {
+	copy(a.wPrev[clientID], w0)
+}
+
+// GradAdjust turns the plain gradient into the STEM estimator v_{i,k},
+// paying one extra gradient evaluation on the same batch at w_{i,k−1}.
+// On the round's first step the momentum restarts from the fresh gradient:
+// the recursion v = g + (1−α)(v_prev − g_prev) is only variance-reducing
+// while v_prev estimates the gradient at w_{i,k−1}, which no longer holds
+// across a global aggregation step.
+func (a *STEM) GradAdjust(ctx *fl.StepCtx) {
+	id := ctx.Client
+	v := a.v[id]
+	if ctx.Step == 0 {
+		copy(v, ctx.Grad)
+		copy(a.wPrev[id], ctx.W)
+		return
+	}
+	gPrev := ctx.Scratch
+	ctx.Eng.Gradient(a.wPrev[id], ctx.BatchX, ctx.BatchY, gPrev)
+	for j := range ctx.Grad {
+		ctx.Grad[j] += (1 - a.AlphaT) * (v[j] - gPrev[j])
+	}
+	// The adjusted gradient is v_{i,k}; remember it and the current
+	// iterate for the next step.
+	copy(v, ctx.Grad)
+	copy(a.wPrev[id], ctx.W)
+}
+
+// Aggregate implements Algorithm 1 line 10 literally:
+// ∆^{t+1} = (1/(K·N·ηl)) Σ (∆_i + v_{i,K−1}), i.e. the server blends the
+// accumulated deltas with each client's final momentum estimate.
+func (a *STEM) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	scale := s.GlobalLR() / (float64(a.k) * float64(len(updates)) * a.lr)
+	for _, u := range updates {
+		vecmath.AXPY(-scale, u.Delta, s.W)
+		vecmath.AXPY(-scale, a.v[u.Client], s.W)
+	}
+}
+
+// Costs implements fl.Algorithm: the second per-step gradient pass.
+func (a *STEM) Costs() simclock.Costs {
+	return simclock.Costs{GradEvalsPerStep: 1, AuxPerStep: simclock.CostSTEMExtraGrad}
+}

@@ -1,0 +1,114 @@
+// Package core implements TACO (Algorithm 2 of the paper): tailored
+// adaptive correction coefficients α_i^t (Eq. 7), the corrected local
+// update (Eq. 8), α-weighted aggregation (Eq. 9), freeloader detection
+// (Eq. 10), and the momentum-style final output z_t (Eq. 15). It also
+// provides the TACO-enhanced hybrids FedProx(TACO) and Scaffold(TACO)
+// evaluated in the paper's Fig. 6.
+package core
+
+import (
+	"math"
+
+	"repro/internal/fl"
+	"repro/internal/vecmath"
+)
+
+// ComputeAlphas evaluates Eq. (7) for one round's uploaded deltas:
+//
+//	α_i = (1 − ‖∆_i‖/Σ_j‖∆_j‖) · max(cos(∆_i, ∆̄), 0)
+//
+// where ∆̄ is the unweighted mean of the deltas. mean and out must have
+// the right sizes (len(deltas[0]) and len(deltas)); mean is overwritten.
+//
+// The two factors implement the geometry of the paper's Fig. 3: clients
+// whose update disagrees in direction with the crowd (small cosine) or is
+// disproportionately large in magnitude get a small α — and therefore a
+// large correction factor 1−α in Eq. (8).
+func ComputeAlphas(deltas [][]float64, mean []float64, out []float64) {
+	n := len(deltas)
+	if n == 0 {
+		return
+	}
+	vecmath.Zero(mean)
+	var normSum float64
+	norms := make([]float64, n)
+	for i, d := range deltas {
+		vecmath.AXPY(1/float64(n), d, mean)
+		norms[i] = vecmath.Norm2Safe(d)
+		normSum += norms[i]
+	}
+	for i, d := range deltas {
+		if normSum == 0 || math.IsInf(normSum, 0) || math.IsNaN(normSum) {
+			// Degenerate uploads (all zero, or magnitudes beyond float64
+			// range) carry no usable geometry.
+			out[i] = 0
+			continue
+		}
+		cosine := vecmath.CosineSimilarity(d, mean)
+		if cosine < 0 {
+			cosine = 0
+		}
+		out[i] = (1 - norms[i]/normSum) * cosine
+	}
+}
+
+// AlphaTracker maintains per-client correction coefficients across rounds
+// for TACO and the TACO-enhanced hybrids. Coefficients for clients that do
+// not participate in a round (expelled) keep their last value.
+type AlphaTracker struct {
+	alphas  []float64
+	history [][]float64
+	mean    []float64
+	scratch []float64
+}
+
+// NewAlphaTracker creates a tracker for n clients of a numParams-sized
+// model, starting every coefficient at initial (Algorithm 2 uses 0.1).
+func NewAlphaTracker(n, numParams int, initial float64) *AlphaTracker {
+	t := &AlphaTracker{
+		alphas:  make([]float64, n),
+		mean:    make([]float64, numParams),
+		scratch: make([]float64, n),
+	}
+	for i := range t.alphas {
+		t.alphas[i] = initial
+	}
+	return t
+}
+
+// Update recomputes coefficients from the round's updates (Algorithm 2
+// line 9) and appends a snapshot to the history. Smoothing ∈ [0,1) blends
+// the fresh estimate with the previous round's value: α ← s·α_old +
+// (1−s)·α_new. 0 reproduces the paper's memoryless rule.
+func (t *AlphaTracker) Update(updates []fl.Update, smoothing float64) {
+	deltas := make([][]float64, len(updates))
+	for i, u := range updates {
+		deltas[i] = u.Delta
+	}
+	out := t.scratch[:len(updates)]
+	ComputeAlphas(deltas, t.mean, out)
+	for i, u := range updates {
+		t.alphas[u.Client] = smoothing*t.alphas[u.Client] + (1-smoothing)*out[i]
+	}
+	t.history = append(t.history, vecmath.Clone(t.alphas))
+}
+
+// Alpha returns client i's current coefficient α_i^t.
+func (t *AlphaTracker) Alpha(i int) float64 { return t.alphas[i] }
+
+// MeanOver returns the mean coefficient over the given updates' clients —
+// Eq. (14)'s α_t restricted to participants.
+func (t *AlphaTracker) MeanOver(updates []fl.Update) float64 {
+	if len(updates) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, u := range updates {
+		sum += t.alphas[u.Client]
+	}
+	return sum / float64(len(updates))
+}
+
+// History returns per-round snapshots of all coefficients (row t holds
+// every client's α after round t). The caller must not mutate the rows.
+func (t *AlphaTracker) History() [][]float64 { return t.history }

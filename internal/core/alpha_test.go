@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+func computeAlphasFor(deltas [][]float64) []float64 {
+	out := make([]float64, len(deltas))
+	mean := make([]float64, len(deltas[0]))
+	ComputeAlphas(deltas, mean, out)
+	return out
+}
+
+func TestComputeAlphasBounds(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.IntN(10)
+		dim := 1 + r.IntN(20)
+		deltas := make([][]float64, n)
+		for i := range deltas {
+			deltas[i] = make([]float64, dim)
+			for j := range deltas[i] {
+				deltas[i][j] = r.Normal(0, 1)
+			}
+		}
+		alphas := computeAlphasFor(deltas)
+		for i, a := range alphas {
+			if a < 0 || a > 1 || math.IsNaN(a) {
+				t.Fatalf("alpha[%d] = %v outside [0,1]", i, a)
+			}
+		}
+	}
+}
+
+func TestComputeAlphasIdenticalClients(t *testing.T) {
+	// All clients uploading the same delta get identical alphas of
+	// (1 − 1/N)·1.
+	n, dim := 5, 8
+	base := make([]float64, dim)
+	r := rng.New(2)
+	for j := range base {
+		base[j] = r.Normal(0, 1)
+	}
+	deltas := make([][]float64, n)
+	for i := range deltas {
+		deltas[i] = vecmath.Clone(base)
+	}
+	alphas := computeAlphasFor(deltas)
+	want := 1 - 1.0/float64(n)
+	for i, a := range alphas {
+		if math.Abs(a-want) > 1e-9 {
+			t.Fatalf("alpha[%d] = %v, want %v", i, a, want)
+		}
+	}
+}
+
+// TestComputeAlphasDirectionGeometry verifies the Fig. 3 (left) intuition:
+// a client whose delta opposes the crowd gets a smaller alpha.
+func TestComputeAlphasDirectionGeometry(t *testing.T) {
+	deltas := [][]float64{
+		{1, 0}, {1, 0.1}, {1, -0.1}, {-1, 0}, // client 3 opposes
+	}
+	alphas := computeAlphasFor(deltas)
+	for i := 0; i < 3; i++ {
+		if alphas[3] >= alphas[i] {
+			t.Fatalf("opposing client alpha %v not below aligned client %d's %v", alphas[3], i, alphas[i])
+		}
+	}
+	if alphas[3] != 0 {
+		t.Fatalf("fully opposing client must clamp to 0, got %v", alphas[3])
+	}
+}
+
+// TestComputeAlphasMagnitudeGeometry verifies the Fig. 3 (right) intuition:
+// with equal directions, the client with the larger magnitude gets the
+// smaller alpha (and therefore the larger correction factor 1−α).
+func TestComputeAlphasMagnitudeGeometry(t *testing.T) {
+	deltas := [][]float64{
+		{1, 0}, {1, 0}, {10, 0},
+	}
+	alphas := computeAlphasFor(deltas)
+	if alphas[2] >= alphas[0] {
+		t.Fatalf("large-magnitude client alpha %v not below small-magnitude %v", alphas[2], alphas[0])
+	}
+}
+
+func TestComputeAlphasZeroDeltas(t *testing.T) {
+	deltas := [][]float64{{0, 0}, {0, 0}}
+	alphas := computeAlphasFor(deltas)
+	for i, a := range alphas {
+		if a != 0 {
+			t.Fatalf("alpha[%d] = %v for all-zero deltas, want 0", i, a)
+		}
+	}
+}
+
+// TestCorollary2Optimality numerically verifies Corollary 2: among weight
+// assignments with a fixed total correction Σ(1−α_i) = σ, the error term
+// Y_t ∝ [Σ(1−α_i)·Σ(µ_i/c_i)]² ... with the Cauchy-Schwarz argument the
+// minimizing choice sets (1−α_i) ∝ µ_i/c_i. We verify by comparing the
+// bound's inner product form Σ(1−α_i)·(µ_i/c_i) under the proportional
+// assignment against random assignments with the same Σ(1−α_i) and norm.
+func TestCorollary2Optimality(t *testing.T) {
+	r := rng.New(5)
+	n := 10
+	ratio := make([]float64, n) // µ_i/c_i per client
+	for i := range ratio {
+		ratio[i] = 0.1 + r.Float64()*2
+	}
+	// The Cauchy-Schwarz statement: for vectors u=(1−α) and v=ratio with
+	// ‖u‖ fixed, ⟨u,v⟩ is maximized (hence the bound's slack minimized and
+	// equality attained) when u ∝ v. Verify ⟨u*,v⟩ ≥ ⟨u_rand,v⟩ for random
+	// u with the same Euclidean norm.
+	vnorm := vecmath.Norm2(ratio)
+	ustar := make([]float64, n)
+	for i := range ustar {
+		ustar[i] = ratio[i] / vnorm // unit-norm proportional assignment
+	}
+	best := vecmath.Dot(ustar, ratio)
+	for trial := 0; trial < 500; trial++ {
+		u := make([]float64, n)
+		for i := range u {
+			u[i] = r.Float64()
+		}
+		norm := vecmath.Norm2(u)
+		for i := range u {
+			u[i] /= norm
+		}
+		if got := vecmath.Dot(u, ratio); got > best+1e-9 {
+			t.Fatalf("random assignment %v beats proportional: %v > %v", u, got, best)
+		}
+	}
+}
+
+func TestAlphaTrackerSmoothing(t *testing.T) {
+	tr := NewAlphaTracker(2, 2, 0.5)
+	updates := []fl.Update{
+		{Client: 0, Delta: []float64{1, 0}},
+		{Client: 1, Delta: []float64{1, 0}},
+	}
+	// Raw new alphas would be (1 − 1/2)·1 = 0.5 each; with smoothing 0.8
+	// starting from 0.5 they stay 0.5.
+	tr.Update(updates, 0.8)
+	if math.Abs(tr.Alpha(0)-0.5) > 1e-12 {
+		t.Fatalf("alpha = %v, want 0.5", tr.Alpha(0))
+	}
+	// Opposing uploads: raw alpha of client 1 clamps to 0; smoothed value
+	// must sit between old (0.5) and new (0).
+	updates[1].Delta = []float64{-1, 0}
+	tr.Update(updates, 0.5)
+	a := tr.Alpha(1)
+	if a <= 0 || a >= 0.5 {
+		t.Fatalf("smoothed alpha %v not in (0, 0.5)", a)
+	}
+}
+
+func TestAlphaTrackerHistoryAndMean(t *testing.T) {
+	tr := NewAlphaTracker(3, 2, 0.1)
+	updates := []fl.Update{
+		{Client: 0, Delta: []float64{1, 0}},
+		{Client: 2, Delta: []float64{1, 0}},
+	}
+	tr.Update(updates, 0)
+	if len(tr.History()) != 1 {
+		t.Fatalf("history length %d, want 1", len(tr.History()))
+	}
+	// Client 1 did not participate: keeps its initial value.
+	if tr.Alpha(1) != 0.1 {
+		t.Fatalf("non-participant alpha = %v, want 0.1", tr.Alpha(1))
+	}
+	mean := tr.MeanOver(updates)
+	want := (tr.Alpha(0) + tr.Alpha(2)) / 2
+	if math.Abs(mean-want) > 1e-12 {
+		t.Fatalf("MeanOver = %v, want %v", mean, want)
+	}
+	if tr.MeanOver(nil) != 0 {
+		t.Fatal("MeanOver(nil) must be 0")
+	}
+}

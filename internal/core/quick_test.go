@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fl"
+)
+
+// Property-based tests (testing/quick) for the α computation, the paper's
+// central data structure.
+
+// TestQuickAlphaInvariants: for arbitrary delta matrices, every α lies in
+// [0, 1], is finite, and the client with the largest norm never has the
+// strictly largest magnitude factor.
+func TestQuickAlphaInvariants(t *testing.T) {
+	f := func(raw [][3]float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		deltas := make([][]float64, len(raw))
+		for i, row := range raw {
+			deltas[i] = []float64{row[0], row[1], row[2]}
+			for j, v := range deltas[i] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					deltas[i][j] = 0
+				}
+			}
+		}
+		alphas := computeAlphasFor(deltas)
+		for _, a := range alphas {
+			if math.IsNaN(a) || a < 0 || a > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAlphaScaleInvariance: scaling every delta by the same positive
+// factor leaves all α unchanged (both Eq. 7 factors are scale-free).
+func TestQuickAlphaScaleInvariance(t *testing.T) {
+	f := func(raw [4][3]float64, scaleSeed uint8) bool {
+		scale := 0.5 + float64(scaleSeed)/64 // in [0.5, ~4.5]
+		a := make([][]float64, 4)
+		b := make([][]float64, 4)
+		for i, row := range raw {
+			a[i] = []float64{row[0], row[1], row[2]}
+			b[i] = make([]float64, 3)
+			for j, v := range a[i] {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					a[i][j] = 1
+				}
+				// Keep magnitudes bounded so scaling cannot overflow.
+				a[i][j] = math.Mod(a[i][j], 1e6)
+				b[i][j] = scale * a[i][j]
+			}
+		}
+		alphaA := computeAlphasFor(a)
+		alphaB := computeAlphasFor(b)
+		for i := range alphaA {
+			if math.Abs(alphaA[i]-alphaB[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSmoothingContracts: the smoothed α always lies between the old
+// value and the raw new estimate.
+func TestQuickSmoothingContracts(t *testing.T) {
+	f := func(oldVal, s8 uint8) bool {
+		old := float64(oldVal) / 255
+		smoothing := float64(s8%100) / 100
+		tr := NewAlphaTracker(2, 2, old)
+		// Two identical deltas give raw α = 0.5 for both clients.
+		updates := mkTwoIdentical()
+		tr.Update(updates, smoothing)
+		got := tr.Alpha(0)
+		lo, hi := math.Min(old, 0.5), math.Max(old, 0.5)
+		return got >= lo-1e-12 && got <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mkTwoIdentical() []fl.Update {
+	return []fl.Update{
+		{Client: 0, Delta: []float64{1, 0}},
+		{Client: 1, Delta: []float64{1, 0}},
+	}
+}

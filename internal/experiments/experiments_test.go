@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+func TestProfilesForAllDatasets(t *testing.T) {
+	for _, name := range append(SweepDatasets(), "mnist", "femnist") {
+		for _, scale := range []Scale{ScaleQuick, ScaleFull} {
+			p, err := ProfileFor(name, scale)
+			if err != nil {
+				t.Fatalf("ProfileFor(%s,%v): %v", name, scale, err)
+			}
+			if p.Rounds <= 0 || p.LocalSteps <= 0 || p.LocalLR <= 0 {
+				t.Fatalf("profile %s has zero fields: %+v", name, p)
+			}
+			if p.TargetAcc <= 0 || p.TargetAcc >= 1 {
+				t.Fatalf("profile %s target accuracy %v", name, p.TargetAcc)
+			}
+		}
+	}
+	if _, err := ProfileFor("nope", ScaleQuick); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFullScaleIsBigger(t *testing.T) {
+	q, _ := ProfileFor("fmnist", ScaleQuick)
+	f, _ := ProfileFor("fmnist", ScaleFull)
+	if f.Rounds <= q.Rounds {
+		t.Fatalf("full rounds %d not above quick %d", f.Rounds, q.Rounds)
+	}
+}
+
+func TestProfileMaterialize(t *testing.T) {
+	for _, name := range []string{"adult", "fmnist", "shakespeare"} {
+		p, err := ProfileFor(name, ScaleQuick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, shards, test, groupOf, err := p.Materialize(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(shards) != p.Clients {
+			t.Fatalf("%s: %d shards, want %d", name, len(shards), p.Clients)
+		}
+		if test.Len() == 0 {
+			t.Fatalf("%s: empty test set", name)
+		}
+		if cfg.Rounds != p.Rounds {
+			t.Fatalf("%s: config rounds %d != profile %d", name, cfg.Rounds, p.Rounds)
+		}
+		if p.Partition == PartGroups && len(groupOf) != p.Clients {
+			t.Fatalf("%s: groupOf length %d", name, len(groupOf))
+		}
+	}
+}
+
+func TestNewAlgorithmNames(t *testing.T) {
+	for _, name := range append(AlgorithmNames(), "FedProx(TACO)", "Scaffold(TACO)") {
+		alg, err := NewAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.Name() != name {
+			t.Fatalf("NewAlgorithm(%q).Name() = %q", name, alg.Name())
+		}
+	}
+	if _, err := NewAlgorithm("nope"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestRunnerCaches(t *testing.T) {
+	r := NewRunner(ScaleQuick)
+	tweak := func(cfg *fl.Config, _ fl.Algorithm) {
+		cfg.Rounds = 2
+		cfg.LocalSteps = 2
+		cfg.BatchSize = 8
+	}
+	a, err := r.RunOne("cache-test", "adult", "FedAvg", tweak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.RunOne("cache-test", "adult", "FedAvg", tweak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical keys must return the cached result")
+	}
+}
+
+func TestRegistryIDs(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("IDs() = %v, want %v", ids, want)
+	}
+	if _, err := Run("nope", NewRunner(ScaleQuick)); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+// TestTable1Artifact runs the cheapest full experiment end to end and
+// checks the rendered shape.
+func TestTable1Artifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures local updates")
+	}
+	r := NewRunner(ScaleQuick)
+	tbl, err := Table1(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, frag := range []string{"Table I", "fmnist", "svhn", "modeled", "measured", "STEM"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Table I render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestTable3Artifact checks the capability matrix without training runs.
+func TestTable3Artifact(t *testing.T) {
+	r := NewRunner(ScaleQuick)
+	tbl, err := Table3(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, frag := range []string{"TACO", "yes", "no", "Freeloader"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("Table III render missing %q:\n%s", frag, s)
+		}
+	}
+	// TACO's row must be the only one with freeloader detection.
+	lines := strings.Split(s, "\n")
+	for _, line := range lines {
+		if strings.Contains(line, "| TACO") {
+			if !strings.Contains(line, "yes") {
+				t.Fatalf("TACO row missing capabilities: %s", line)
+			}
+		}
+	}
+}
+
+func TestMicroGradBenchmark(t *testing.T) {
+	d, err := MicroGradBenchmark("adult", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("non-positive duration %v", d)
+	}
+}
+
+func TestFreeloaderIDsSpread(t *testing.T) {
+	ids := freeloaderIDs(20)
+	if len(ids) != 8 {
+		t.Fatalf("got %d freeloaders, want 8 (40%% of 20)", len(ids))
+	}
+	seen := map[int]bool{}
+	groups := map[int]bool{} // thirds of the client range
+	for _, id := range ids {
+		if id < 0 || id >= 20 {
+			t.Fatalf("id %d out of range", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+		groups[id/7] = true
+	}
+	if len(groups) < 3 {
+		t.Fatalf("freeloaders not spread across the client range: %v", ids)
+	}
+}

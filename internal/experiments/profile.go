@@ -1,0 +1,169 @@
+// Package experiments configures and runs every reproduced table and
+// figure of the paper. Each experiment has an id (table5, fig2, ...), a
+// runner that produces the underlying FL runs (cached, so experiments
+// sharing runs — Table V, Fig. 4, Fig. 5 — compute them once), and a
+// renderer that prints the paper's rows or series via internal/report.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// Scale selects the experiment size: ScaleBench for the benchmark
+// harness, ScaleQuick for the CLI default (the canonical EXPERIMENTS.md
+// numbers, sized for a single CPU core), ScaleFull for longer CLI runs.
+type Scale int
+
+const (
+	// ScaleBench is the reduced profile used by the benchmark harness: it
+	// regenerates every artifact's full pipeline at roughly a third of the
+	// quick profile's training budget.
+	ScaleBench Scale = iota + 1
+	// ScaleQuick is the CI/CLI default profile (the canonical numbers in
+	// EXPERIMENTS.md).
+	ScaleQuick
+	// ScaleFull is the larger CLI profile.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleFull:
+		return "full"
+	case ScaleBench:
+		return "bench"
+	default:
+		return "quick"
+	}
+}
+
+// PartitionKind names the non-IID regime of a profile.
+type PartitionKind string
+
+const (
+	// PartGroups is the paper's synthetic label-diversity grouping.
+	PartGroups PartitionKind = "groups"
+	// PartDirichlet is Dir(φ) label skew.
+	PartDirichlet PartitionKind = "dirichlet"
+	// PartNatural partitions by the dataset's natural groups (speakers).
+	PartNatural PartitionKind = "natural"
+)
+
+// Profile fixes one dataset's training setup, mirroring the hyper-
+// parameter table of Section V-A at reproduction scale.
+type Profile struct {
+	Dataset    string
+	Clients    int
+	Rounds     int
+	LocalSteps int
+	BatchSize  int
+	LocalLR    float64
+	// TargetAcc is the dataset's target accuracy for the rounds-to-
+	// accuracy and time-to-accuracy columns.
+	TargetAcc float64
+	Partition PartitionKind
+	// DirPhi is the Dirichlet concentration for PartDirichlet.
+	DirPhi float64
+	// DataScale picks the synthetic dataset size.
+	DataScale dataset.Scale
+}
+
+// SweepDatasets lists the six datasets of Table V in paper order.
+func SweepDatasets() []string {
+	return []string{"adult", "fmnist", "svhn", "cifar10", "cifar100", "shakespeare"}
+}
+
+// ProfileFor returns the named dataset's profile at the given scale. The
+// relative settings mirror the paper: SVHN and CIFAR-10 get the most local
+// work (the paper uses K=1000 there), CIFAR-100 the big model, Shakespeare
+// the LSTM with ηl = 1.
+func ProfileFor(name string, scale Scale) (Profile, error) {
+	p := Profile{
+		Dataset:    name,
+		Clients:    20,
+		BatchSize:  24,
+		LocalLR:    0.05,
+		DataScale:  dataset.ScaleSmall,
+		Partition:  PartGroups,
+		LocalSteps: 10,
+	}
+	switch name {
+	case "mnist":
+		p.Rounds, p.TargetAcc = 20, 0.85
+	case "fmnist":
+		p.Rounds, p.TargetAcc = 25, 0.72
+	case "femnist":
+		p.Rounds, p.TargetAcc = 20, 0.55
+		p.Partition, p.DirPhi = PartDirichlet, 0.2
+	case "svhn":
+		p.Rounds, p.LocalSteps, p.TargetAcc = 25, 15, 0.60
+		p.LocalLR = 0.08
+	case "cifar10":
+		p.Rounds, p.LocalSteps, p.TargetAcc = 25, 15, 0.55
+	case "cifar100":
+		p.Rounds, p.LocalSteps, p.BatchSize, p.TargetAcc = 15, 8, 16, 0.25
+		p.Partition, p.DirPhi = PartDirichlet, 0.5
+	case "adult":
+		p.Rounds, p.TargetAcc = 20, 0.78
+		p.Partition, p.DirPhi = PartDirichlet, 0.5
+	case "shakespeare":
+		p.Rounds, p.LocalSteps, p.LocalLR, p.TargetAcc = 20, 12, 1.0, 0.40
+		p.Partition = PartNatural
+	default:
+		return Profile{}, fmt.Errorf("experiments: unknown dataset %q", name)
+	}
+	switch scale {
+	case ScaleFull:
+		p.Rounds *= 2
+		p.DataScale = dataset.ScaleFull
+	case ScaleBench:
+		p.Rounds = max(p.Rounds/2, 4)
+		p.LocalSteps = max(p.LocalSteps*2/3, 3)
+	}
+	return p, nil
+}
+
+// Materialize builds the profile's model, client shards, and test set.
+func (p Profile) Materialize(seed uint64) (*fl.Config, []*dataset.Dataset, *dataset.Dataset, []int, error) {
+	train, test, err := dataset.Standard(p.Dataset, p.DataScale, seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	r := rng.New(seed).Derive("partition", 0)
+	var (
+		part    *partition.Partition
+		groupOf []int
+	)
+	switch p.Partition {
+	case PartGroups:
+		part, groupOf, err = partition.Groups(train, partition.PaperGroups(p.Clients), r)
+	case PartDirichlet:
+		part, err = partition.Dirichlet(train, p.Clients, p.DirPhi, r)
+	case PartNatural:
+		part, err = partition.ByNaturalGroups(train, p.Clients, r)
+	default:
+		err = fmt.Errorf("experiments: unknown partition kind %q", p.Partition)
+	}
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	cfg := &fl.Config{
+		Rounds:     p.Rounds,
+		LocalSteps: p.LocalSteps,
+		BatchSize:  p.BatchSize,
+		LocalLR:    p.LocalLR,
+		Seed:       seed,
+	}
+	return cfg, part.Shards(train), test, groupOf, nil
+}
+
+// Model returns the dataset's model architecture.
+func (p Profile) Model() (*nn.Network, error) {
+	return dataset.Model(p.Dataset)
+}

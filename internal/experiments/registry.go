@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Artifact is a rendered reproduction of one paper table or figure.
+type Artifact interface {
+	Render(w io.Writer)
+}
+
+// Runnable produces one experiment's artifacts given a Runner.
+type Runnable func(*Runner) ([]Artifact, error)
+
+// registry maps experiment ids to runners. Fig. 1 and Fig. 3 are
+// conceptual diagrams with no data; their geometry is property-tested in
+// internal/core instead.
+var registry = map[string]Runnable{
+	"table1": func(r *Runner) ([]Artifact, error) { return one(Table1(r)) },
+	"table2": func(r *Runner) ([]Artifact, error) { return one(Table2(r)) },
+	"table3": func(r *Runner) ([]Artifact, error) { return one(Table3(r)) },
+	"table5": func(r *Runner) ([]Artifact, error) { return one(Table5(r)) },
+	"table6": func(r *Runner) ([]Artifact, error) { return one(Table6(r)) },
+	"table7": func(r *Runner) ([]Artifact, error) { return one(Table7(r)) },
+	"table8": func(r *Runner) ([]Artifact, error) { return one(Table8(r)) },
+	"fig2": func(r *Runner) ([]Artifact, error) {
+		figs, err := Fig2(r)
+		return figArtifacts(figs, err)
+	},
+	"fig4": func(r *Runner) ([]Artifact, error) { return one(Fig4(r)) },
+	"fig5": func(r *Runner) ([]Artifact, error) { return one(Fig5(r)) },
+	"fig6": func(r *Runner) ([]Artifact, error) {
+		figs, err := Fig6(r)
+		return figArtifacts(figs, err)
+	},
+	"fig7": func(r *Runner) ([]Artifact, error) { return one(Fig7(r)) },
+}
+
+func one[T Artifact](t T, err error) ([]Artifact, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []Artifact{t}, nil
+}
+
+func figArtifacts[T Artifact](figs []T, err error) ([]Artifact, error) {
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Artifact, len(figs))
+	for i, f := range figs {
+		out[i] = f
+	}
+	return out, nil
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, r *Runner) ([]Artifact, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
+	}
+	return f(r)
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// AlgorithmNames lists the compared methods in the paper's column order.
+func AlgorithmNames() []string {
+	return []string{"FedAvg", "FedProx", "FG", "Scaffold", "STEM", "FedACG", "TACO"}
+}
+
+// NewAlgorithm constructs a fresh instance of the named algorithm with the
+// paper's default hyper-parameters (Section V-A): ζ=0.1, α=1, α_t=0.2,
+// β=0.001, and TACO's γ=1/K, κ=0.6, λ=T/5.
+func NewAlgorithm(name string) (fl.Algorithm, error) {
+	switch name {
+	case "FedAvg":
+		return baselines.NewFedAvg(), nil
+	case "FedProx":
+		return baselines.NewFedProx(0.1), nil
+	case "FG":
+		return baselines.NewFoolsGold(), nil
+	case "Scaffold":
+		return baselines.NewScaffold(1), nil
+	case "STEM":
+		return baselines.NewSTEM(0.2), nil
+	case "FedACG":
+		return baselines.NewFedACG(0.001), nil
+	case "TACO":
+		return core.New(core.Recommended()), nil
+	case "FedProx(TACO)":
+		return core.NewFedProxTACO(0.1), nil
+	case "Scaffold(TACO)":
+		return core.NewScaffoldTACO(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	}
+}
+
+// Runner executes experiments at one scale with a shared run cache, so
+// artifacts that reuse the same training runs (Table V, Fig. 2, Fig. 4,
+// Fig. 5) pay for them once per process.
+type Runner struct {
+	Scale Scale
+	// Seed is the base seed; every run derives from it deterministically.
+	Seed uint64
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+
+	mu    sync.Mutex
+	cache map[string]*fl.Result
+}
+
+// NewRunner creates a Runner with the default base seed.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{Scale: scale, Seed: 1}
+}
+
+// RunOne trains the named algorithm on the named dataset's profile.
+// Results are cached under key; pass distinct keys for distinct setups.
+// The optional tweak hook mutates the engine config or algorithm before
+// the run; use RunOneWithProfile to also adjust the dataset profile.
+func (r *Runner) RunOne(key, dsName, algName string, tweak func(cfg *fl.Config, alg fl.Algorithm)) (*fl.Result, error) {
+	return r.RunOneWithProfile(key, dsName, algName, nil, tweak)
+}
+
+// RunOneWithProfile is RunOne with an extra hook that adjusts the dataset
+// profile (partition kind, Dirichlet level, client count) before the data
+// is materialized.
+func (r *Runner) RunOneWithProfile(key, dsName, algName string, profTweak func(*Profile), tweak func(cfg *fl.Config, alg fl.Algorithm)) (*fl.Result, error) {
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*fl.Result)
+	}
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	profile, err := ProfileFor(dsName, r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if profTweak != nil {
+		profTweak(&profile)
+	}
+	cfg, shards, test, _, err := profile.Materialize(r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := NewAlgorithm(algName)
+	if err != nil {
+		return nil, err
+	}
+	if tweak != nil {
+		tweak(cfg, alg)
+	}
+	net, err := profile.Model()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := fl.Run(*cfg, alg, net, shards, test)
+	if err != nil {
+		return nil, fmt.Errorf("run %s: %w", key, err)
+	}
+	if r.Progress != nil {
+		status := ""
+		if res.Run.Diverged {
+			status = fmt.Sprintf(" DIVERGED@%d", res.Run.DivergedRound)
+		}
+		fmt.Fprintf(r.Progress, "  [%s] final=%.4f best=%.4f (%.1fs)%s\n",
+			key, res.Run.FinalAccuracy(), res.Run.BestAccuracy(), time.Since(start).Seconds(), status)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// SweepKey names the cached run for one (dataset, algorithm) cell of the
+// main comparison sweep.
+func SweepKey(ds, alg string) string { return "sweep/" + ds + "/" + alg }
+
+// Sweep runs the Table V matrix: every algorithm on every sweep dataset.
+func (r *Runner) Sweep(datasets, algorithms []string) (map[string]*fl.Result, error) {
+	out := make(map[string]*fl.Result, len(datasets)*len(algorithms))
+	for _, ds := range datasets {
+		for _, alg := range algorithms {
+			key := SweepKey(ds, alg)
+			res, err := r.RunOne(key, ds, alg, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = res
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Table5 reproduces "Round-to-Accuracy performance of various algorithms
+// across different datasets": final accuracy after the budgeted rounds and
+// the rounds needed to reach each dataset's target accuracy ("×" marks a
+// divergence, "R+" a run that never reached the target).
+func Table5(r *Runner) (*report.Table, error) {
+	datasets := SweepDatasets()
+	algs := AlgorithmNames()
+	runs, err := r.Sweep(datasets, algs)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{Title: "Table V: Round-to-Accuracy across datasets (reproduction)"}
+	t.Columns = []string{"Method"}
+	for _, ds := range datasets {
+		p, err := ProfileFor(ds, r.Scale)
+		if err != nil {
+			return nil, err
+		}
+		t.Columns = append(t.Columns,
+			fmt.Sprintf("%s Acc@%dR", ds, p.Rounds),
+			fmt.Sprintf("Rounds(%.0f%%)", p.TargetAcc*100))
+	}
+	for _, alg := range algs {
+		row := []string{alg}
+		for _, ds := range datasets {
+			p, _ := ProfileFor(ds, r.Scale)
+			run := runs[SweepKey(ds, alg)].Run
+			if run.Diverged {
+				row = append(row, "×", "×")
+				continue
+			}
+			row = append(row, report.Pct(run.FinalAccuracy()))
+			if rounds, ok := run.RoundsToAccuracy(p.TargetAcc); ok {
+				row = append(row, fmt.Sprintf("%d", rounds))
+			} else {
+				row = append(row, fmt.Sprintf("%d+", p.Rounds))
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: TACO attains the best accuracy on every dataset and the fewest rounds to target;",
+		"FedProx and Scaffold trail FedAvg (over-correction), with divergence (×) on the hardest set.")
+	return t, nil
+}
+
+// Fig4 reproduces "Cumulative local training time required by different
+// algorithms to achieve the target accuracy", normalized to FedAvg = 1.
+// Entries: "fail" = divergence, ">X" = target never reached (timeout).
+func Fig4(r *Runner) (*report.Table, error) {
+	datasets := SweepDatasets()
+	algs := AlgorithmNames()
+	runs, err := r.Sweep(datasets, algs)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{Title: "Fig. 4: Normalized modeled time-to-target (FedAvg = 1.00)"}
+	t.Columns = append([]string{"Method"}, datasets...)
+	base := make(map[string]float64, len(datasets))
+	for _, ds := range datasets {
+		p, _ := ProfileFor(ds, r.Scale)
+		fedavg := runs[SweepKey(ds, "FedAvg")].Run
+		if sec, ok := fedavg.ModeledTimeToAccuracy(p.TargetAcc); ok {
+			base[ds] = sec
+		} else {
+			// FedAvg itself timed out; normalize by its total budget.
+			base[ds] = fedavg.Rounds[len(fedavg.Rounds)-1].CumModeledSec
+		}
+	}
+	for _, alg := range algs {
+		row := []string{alg}
+		for _, ds := range datasets {
+			p, _ := ProfileFor(ds, r.Scale)
+			run := runs[SweepKey(ds, alg)].Run
+			switch {
+			case run.Diverged:
+				row = append(row, "fail")
+			default:
+				sec, ok := run.ModeledTimeToAccuracy(p.TargetAcc)
+				if !ok {
+					total := run.Rounds[len(run.Rounds)-1].CumModeledSec
+					row = append(row, fmt.Sprintf(">%.2f", total/base[ds]))
+				} else {
+					row = append(row, fmt.Sprintf("%.2f", sec/base[ds]))
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: TACO is fastest (0.37-0.74 of FedAvg); STEM often exceeds FedAvg's time",
+		"despite fewer rounds, because of its per-step second gradient pass.")
+	return t, nil
+}
+
+// Fig2 reproduces the re-evaluation curves on FMNIST and SVHN:
+// round-to-accuracy (2a, 2b) and modeled time-to-accuracy (2c, 2d).
+func Fig2(r *Runner) ([]*report.Figure, error) {
+	algs := AlgorithmNames()
+	var figures []*report.Figure
+	for _, ds := range []string{"fmnist", "svhn"} {
+		roundFig := &report.Figure{
+			Title:  fmt.Sprintf("Fig. 2 Round-Accuracy (%s)", ds),
+			XLabel: "round", YLabel: "test accuracy",
+		}
+		timeFig := &report.Figure{
+			Title:  fmt.Sprintf("Fig. 2 Time-Accuracy (%s)", ds),
+			XLabel: "modeled computation seconds", YLabel: "test accuracy",
+		}
+		for _, alg := range algs {
+			res, err := r.RunOne(SweepKey(ds, alg), ds, alg, nil)
+			if err != nil {
+				return nil, err
+			}
+			run := res.Run
+			var xs, ts, ys []float64
+			for _, rec := range run.Rounds {
+				xs = append(xs, float64(rec.Index+1))
+				ts = append(ts, rec.CumModeledSec)
+				ys = append(ys, rec.Accuracy)
+			}
+			roundFig.Series = append(roundFig.Series, report.Series{Label: alg, X: xs, Y: ys})
+			timeFig.Series = append(timeFig.Series, report.Series{Label: alg, X: ts, Y: ys})
+		}
+		figures = append(figures, roundFig, timeFig)
+	}
+	return figures, nil
+}
+
+// Fig5 reproduces "Local computation time for clients in every FL round"
+// for the four model families: modeled per-round seconds (deterministic)
+// and the median measured per-round seconds of the slowest client.
+func Fig5(r *Runner) (*report.Table, error) {
+	cases := []string{"adult", "svhn", "cifar100", "shakespeare"}
+	algs := AlgorithmNames()
+	t := &report.Table{Title: "Fig. 5: Per-round client computation time (modeled s | measured s)"}
+	t.Columns = append([]string{"Method"}, []string{"adult-MLP", "svhn-CNN", "cifar100-ResNet", "shakespeare-LSTM"}...)
+	type cell struct{ modeled, measured float64 }
+	cells := make(map[string]cell, len(cases)*len(algs))
+	for _, ds := range cases {
+		for _, alg := range algs {
+			res, err := r.RunOne(SweepKey(ds, alg), ds, alg, nil)
+			if err != nil {
+				return nil, err
+			}
+			cells[ds+"/"+alg] = cell{
+				modeled:  res.Run.MedianSlowestModeledSec(),
+				measured: res.Run.MedianSlowestMeasuredSec(),
+			}
+		}
+	}
+	for _, alg := range algs {
+		row := []string{alg}
+		for _, ds := range cases {
+			c := cells[ds+"/"+alg]
+			row = append(row, fmt.Sprintf("%.3f | %.3f", c.modeled, c.measured))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: FedAvg and FoolsGold are cheapest; STEM is the most expensive per round;",
+		"FedProx/FedACG pay for in-loss regularizers; TACO adds only a small correction AXPY.")
+	return t, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// Table1 reproduces "Computation time per 100 local updates (CNN)" on the
+// FMNIST and SVHN models. The modeled column is the deterministic cost
+// model; the measured column times 100 real local updates of each
+// algorithm in this Go implementation.
+func Table1(r *Runner) (*report.Table, error) {
+	t := &report.Table{Title: "Table I: Computation time per 100 local updates (CNN)"}
+	t.Columns = []string{"Dataset", "Metric", "FedAvg/FG", "FedProx", "Scaffold", "STEM", "FedACG"}
+	algs := []string{"FedAvg", "FedProx", "Scaffold", "STEM", "FedACG"}
+	for _, ds := range []string{"fmnist", "svhn"} {
+		p, err := ProfileFor(ds, r.Scale)
+		if err != nil {
+			return nil, err
+		}
+		net, err := p.Model()
+		if err != nil {
+			return nil, err
+		}
+		gradFlops := net.GradFlops(p.BatchSize)
+
+		modeled := make([]float64, len(algs))
+		measured := make([]float64, len(algs))
+		for i, name := range algs {
+			alg, err := NewAlgorithm(name)
+			if err != nil {
+				return nil, err
+			}
+			modeled[i] = simclock.Per100Steps(gradFlops, alg.Costs())
+			sec, err := measure100Steps(p, alg)
+			if err != nil {
+				return nil, err
+			}
+			measured[i] = sec
+		}
+		rowFor := func(metric string, vals []float64) []string {
+			row := []string{ds, metric}
+			for i, v := range vals {
+				overhead := ""
+				if i > 0 && vals[0] > 0 {
+					overhead = fmt.Sprintf(" (+%.1f%%)", 100*(v-vals[0])/vals[0])
+				}
+				row = append(row, fmt.Sprintf("%.3fs%s", v, overhead))
+			}
+			return row
+		}
+		t.AddRow(rowFor("modeled", modeled)...)
+		t.AddRow(rowFor("measured", measured)...)
+	}
+	t.Notes = append(t.Notes,
+		"modeled overheads are calibrated to the paper's Table I (FMNIST column);",
+		"measured times show this implementation's real relative cost (STEM pays a full second gradient).")
+	return t, nil
+}
+
+// measure100Steps times 100 local SGD steps for one client under the given
+// algorithm, the measurement unit of the paper's Table I.
+func measure100Steps(p Profile, alg fl.Algorithm) (float64, error) {
+	cfg, shards, test, _, err := p.Materialize(7)
+	if err != nil {
+		return 0, err
+	}
+	cfg.Rounds = 1
+	cfg.LocalSteps = 100
+	cfg.EvalEvery = 10 // skip evaluation cost inside the measurement
+	// Restrict to one client so the measured time is a single client's.
+	one := shards[:1]
+	net, err := p.Model()
+	if err != nil {
+		return 0, err
+	}
+	res, err := fl.Run(*cfg, alg, net, one, test)
+	if err != nil {
+		return 0, err
+	}
+	return res.Run.Rounds[0].SlowestMeasuredSec, nil
+}
+
+// Table3 reproduces the capability matrix "Comparison with pioneering FL
+// algorithms", including modeled client computation time per round for the
+// CIFAR-100 (ResNet) profile.
+func Table3(r *Runner) (*report.Table, error) {
+	p, err := ProfileFor("cifar100", r.Scale)
+	if err != nil {
+		return nil, err
+	}
+	net, err := p.Model()
+	if err != nil {
+		return nil, err
+	}
+	gradFlops := net.GradFlops(p.BatchSize)
+	t := &report.Table{Title: "Table III: Capability comparison (client time per round, cifar100-ResNet)"}
+	t.Columns = []string{"Method", "Local Corr.", "Agg. Corr.", "Freeloader Det.", "Client time/round"}
+	caps := []struct {
+		name            string
+		local, agg, det bool
+	}{
+		{"FedAvg", false, false, false},
+		{"FedProx", true, false, false},
+		{"Scaffold", true, false, false},
+		{"FG", false, true, false},
+		{"STEM", true, true, false},
+		{"FedACG", true, true, false},
+		{"TACO", true, true, true},
+	}
+	var base float64
+	for _, c := range caps {
+		alg, err := NewAlgorithm(c.name)
+		if err != nil {
+			return nil, err
+		}
+		sec := simclock.RoundSeconds(gradFlops, p.LocalSteps, alg.Costs())
+		if c.name == "FedAvg" {
+			base = sec
+		}
+		mark := func(b bool) string {
+			if b {
+				return "yes"
+			}
+			return "no"
+		}
+		t.AddRow(c.name, mark(c.local), mark(c.agg), mark(c.det),
+			fmt.Sprintf("%.3fs (%+.1f%%)", sec, 100*(sec-base)/base))
+	}
+	t.Notes = append(t.Notes,
+		"paper shape: only TACO covers all three capabilities at near-FedAvg cost",
+		"(paper: TACO 4.81s vs FedAvg 4.50s, +6.9%; STEM 6.48s, +44%).")
+	return t, nil
+}
+
+// MicroGradBenchmark measures one mini-batch gradient evaluation for the
+// named dataset's model — the building block of every timing artifact.
+// Exposed for the benchmark harness.
+func MicroGradBenchmark(dsName string, batch int) (time.Duration, error) {
+	net, err := dataset.Model(dsName)
+	if err != nil {
+		return 0, err
+	}
+	train, _, err := dataset.Standard(dsName, dataset.ScaleSmall, 1)
+	if err != nil {
+		return 0, err
+	}
+	r := rng.New(3)
+	params := net.InitParams(r)
+	eng := nn.NewEngine(net, batch)
+	sampler := dataset.NewSampler(train, r)
+	x := make([]float64, batch*train.In.Size())
+	y := make([]int, batch)
+	grad := make([]float64, net.NumParams())
+	sampler.Batch(x, y)
+	start := time.Now()
+	eng.Gradient(params, x, y, grad)
+	return time.Since(start), nil
+}

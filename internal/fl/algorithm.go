@@ -1,0 +1,175 @@
+package fl
+
+import (
+	"repro/internal/nn"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// Env describes the fixed environment an algorithm trains in. It is handed
+// to Setup once before round 0.
+type Env struct {
+	// Net is the shared model architecture.
+	Net *nn.Network
+	// NumClients is N (full participation).
+	NumClients int
+	// NumParams is the flat parameter-vector length.
+	NumParams int
+	// DataSizes is D_i per client.
+	DataSizes []int
+	// Cfg is the engine configuration.
+	Cfg Config
+}
+
+// StepCtx is the per-local-step context passed to GradAdjust. The hook may
+// mutate Grad in place; every other field is read-only by convention.
+type StepCtx struct {
+	// Client is the client ID, Round the communication round, Step the
+	// local step index k ∈ [K].
+	Client, Round, Step int
+	// W is the client's current local parameter vector w_{i,k}.
+	W []float64
+	// W0 is the round's local starting point w_{i,0}.
+	W0 []float64
+	// Grad is the mini-batch gradient g_{i,k}, to be adjusted in place.
+	Grad []float64
+	// BatchX and BatchY are the sampled mini-batch, available to
+	// algorithms that need additional gradient evaluations (STEM).
+	BatchX []float64
+	BatchY []int
+	// Eng is the client's execution engine for extra evaluations.
+	Eng *nn.Engine
+	// Scratch is a NumParams-sized scratch vector owned by the client.
+	Scratch []float64
+}
+
+// Update is one client's upload for a round: the accumulated local
+// gradient Δ_i = w_{i,0} − w_{i,K} of Eq. (5).
+type Update struct {
+	// Client is the uploading client's ID.
+	Client int
+	// Delta is Δ_i (length NumParams). The engine owns the backing array;
+	// algorithms must copy anything they keep across rounds.
+	Delta []float64
+	// NumSamples is D_i, for data-weighted aggregation.
+	NumSamples int
+	// TrainLoss is the client's mean mini-batch loss across the round.
+	TrainLoss float64
+}
+
+// ServerCtx is the aggregation context. Aggregate must write the next
+// global model into W (in place).
+type ServerCtx struct {
+	// Round is the completed communication round t.
+	Round int
+	// W is the global model w^t, to be advanced to w^{t+1} in place.
+	W []float64
+	// WPrev is a stable copy of w^t (W's value at entry to Aggregate), so
+	// aggregation rules that advance W in place can still read the
+	// pre-aggregation model, e.g. TACO's z_t output (Eq. (15)).
+	WPrev []float64
+	// Env echoes the training environment.
+	Env *Env
+	// Active flags which clients are still participating.
+	Active []bool
+
+	expelled []int
+}
+
+// Expel schedules a client's removal from all future rounds (TACO's
+// freeloader expulsion, Algorithm 2 line 12).
+func (s *ServerCtx) Expel(client int) {
+	s.expelled = append(s.expelled, client)
+}
+
+// GlobalLR returns ηg with the paper's K·ηl default applied.
+func (s *ServerCtx) GlobalLR() float64 { return s.Env.Cfg.globalLR() }
+
+// Algorithm is the hook set an FL method implements. Hooks prefixed
+// "Local" run concurrently for different clients: implementations must
+// confine per-client mutable state to per-client storage.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Setup is called once with the environment before round 0.
+	Setup(env *Env)
+	// LocalInit writes the client's round-t starting parameters into out
+	// (usually the global model w; FedACG adds server momentum).
+	LocalInit(client, round int, w []float64, out []float64)
+	// BeginLocal runs once per client per round before the local loop.
+	BeginLocal(client, round int, w0 []float64)
+	// GradAdjust applies the method's per-step correction to ctx.Grad.
+	GradAdjust(ctx *StepCtx)
+	// EndLocal runs after the local loop with the client's delta
+	// (read-only; the engine reuses the buffer).
+	EndLocal(client, round int, delta []float64)
+	// Aggregate combines the round's updates into the next global model.
+	Aggregate(s *ServerCtx, updates []Update)
+	// Costs reports the modeled per-step computation profile.
+	Costs() simclock.Costs
+	// FinalModel maps aggregated parameters to the evaluation model
+	// (identity for all methods except TACO's z_t, Eq. (15)).
+	FinalModel(w []float64) []float64
+	// MeanAlpha reports the mean correction coefficient of the last
+	// aggregation for diagnostics; algorithms without one return 0.
+	MeanAlpha() float64
+}
+
+// Base provides no-op defaults for the optional Algorithm hooks; concrete
+// algorithms embed it and override what they need.
+type Base struct{}
+
+// Setup implements Algorithm.
+func (Base) Setup(*Env) {}
+
+// LocalInit implements Algorithm with the standard w_{i,0} ← w^t.
+func (Base) LocalInit(_, _ int, w []float64, out []float64) { copy(out, w) }
+
+// BeginLocal implements Algorithm.
+func (Base) BeginLocal(int, int, []float64) {}
+
+// GradAdjust implements Algorithm.
+func (Base) GradAdjust(*StepCtx) {}
+
+// EndLocal implements Algorithm.
+func (Base) EndLocal(int, int, []float64) {}
+
+// Costs implements Algorithm with the plain FedAvg profile.
+func (Base) Costs() simclock.Costs { return simclock.Plain() }
+
+// FinalModel implements Algorithm as the identity.
+func (Base) FinalModel(w []float64) []float64 { return w }
+
+// MeanAlpha implements Algorithm.
+func (Base) MeanAlpha() float64 { return 0 }
+
+// AggregationWeights returns the static weights p_i of Eq. (6) over the
+// active updates: D_i/D when cfg.WeightByData, else 1/N_active.
+func AggregationWeights(updates []Update, weightByData bool) []float64 {
+	weights := make([]float64, len(updates))
+	if weightByData {
+		total := 0
+		for _, u := range updates {
+			total += u.NumSamples
+		}
+		for i, u := range updates {
+			weights[i] = float64(u.NumSamples) / float64(total)
+		}
+		return weights
+	}
+	for i := range weights {
+		weights[i] = 1 / float64(len(updates))
+	}
+	return weights
+}
+
+// FedAvgStep applies the vanilla aggregation of Eq. (6) with ∆^{t+1} =
+// Σ p_i ∆_i / (K·ηl): with the default ηg = K·ηl the global model moves by
+// the weighted mean client delta. Shared by FedAvg, FedProx, and Scaffold.
+func FedAvgStep(s *ServerCtx, updates []Update) {
+	weights := AggregationWeights(updates, s.Env.Cfg.WeightByData)
+	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
+	for i, u := range updates {
+		vecmath.AXPY(-weights[i]*scale, u.Delta, s.W)
+	}
+}

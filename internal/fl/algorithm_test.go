@@ -1,0 +1,116 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func TestBaseDefaults(t *testing.T) {
+	var b Base
+	w := []float64{1, 2, 3}
+	out := make([]float64, 3)
+	b.LocalInit(0, 0, w, out)
+	for i := range w {
+		if out[i] != w[i] {
+			t.Fatal("Base.LocalInit must copy w")
+		}
+	}
+	if got := b.FinalModel(w); &got[0] != &w[0] {
+		t.Fatal("Base.FinalModel must be the identity")
+	}
+	if b.MeanAlpha() != 0 {
+		t.Fatal("Base.MeanAlpha must be 0")
+	}
+	if c := b.Costs(); c.GradEvalsPerStep != 1 || c.AuxPerStep != 0 {
+		t.Fatalf("Base.Costs = %+v, want the plain profile", c)
+	}
+	// No-op hooks must not panic.
+	b.Setup(nil)
+	b.BeginLocal(0, 0, nil)
+	b.GradAdjust(nil)
+	b.EndLocal(0, 0, nil)
+}
+
+func TestServerCtxExpel(t *testing.T) {
+	s := &ServerCtx{}
+	s.Expel(3)
+	s.Expel(5)
+	if len(s.expelled) != 2 || s.expelled[0] != 3 || s.expelled[1] != 5 {
+		t.Fatalf("expelled = %v", s.expelled)
+	}
+}
+
+func TestGlobalLRDefault(t *testing.T) {
+	env := &Env{Cfg: Config{LocalSteps: 10, LocalLR: 0.05}}
+	s := &ServerCtx{Env: env}
+	if got := s.GlobalLR(); got != 0.5 {
+		t.Fatalf("GlobalLR = %v, want K·ηl = 0.5", got)
+	}
+	env.Cfg.GlobalLR = 2
+	if got := s.GlobalLR(); got != 2 {
+		t.Fatalf("GlobalLR = %v, want explicit 2", got)
+	}
+}
+
+func TestFedAvgStepMovesByMeanDelta(t *testing.T) {
+	env := &Env{Cfg: Config{LocalSteps: 2, LocalLR: 0.5, Rounds: 1, BatchSize: 1}}
+	w := []float64{10, 10}
+	s := &ServerCtx{W: w, Env: env}
+	updates := []Update{
+		{Client: 0, Delta: []float64{1, 0}, NumSamples: 1},
+		{Client: 1, Delta: []float64{3, 0}, NumSamples: 1},
+	}
+	FedAvgStep(s, updates)
+	// ηg = K·ηl, so the model moves by exactly the mean delta: −2 in x.
+	if w[0] != 8 || w[1] != 10 {
+		t.Fatalf("w after FedAvgStep = %v, want [8 10]", w)
+	}
+}
+
+func TestSortUpdatesByClient(t *testing.T) {
+	updates := []Update{{Client: 2}, {Client: 0}, {Client: 1}}
+	SortUpdatesByClient(updates)
+	for i, u := range updates {
+		if u.Client != i {
+			t.Fatalf("updates not sorted: %v", updates)
+		}
+	}
+}
+
+func TestFreeloaderSetValidation(t *testing.T) {
+	cfg := Config{Freeloaders: []int{1, 3}}
+	set := cfg.freeloaderSet()
+	if !set[1] || !set[3] || set[0] {
+		t.Fatalf("freeloaderSet = %v", set)
+	}
+	if (Config{}).freeloaderSet() != nil {
+		t.Fatal("empty freeloader list must produce nil set")
+	}
+}
+
+func TestMeanLossSkipsFreeloaders(t *testing.T) {
+	updates := []Update{
+		{TrainLoss: 2},
+		{TrainLoss: 0}, // freeloaders report 0
+		{TrainLoss: 4},
+	}
+	if got := meanLoss(updates); got != 3 {
+		t.Fatalf("meanLoss = %v, want 3", got)
+	}
+	if got := meanLoss(nil); got != 0 {
+		t.Fatalf("meanLoss(nil) = %v", got)
+	}
+}
+
+func TestAggregationWeightsSumToOne(t *testing.T) {
+	updates := []Update{
+		{NumSamples: 7}, {NumSamples: 13}, {NumSamples: 5},
+	}
+	for _, byData := range []bool{false, true} {
+		w := AggregationWeights(updates, byData)
+		if s := vecmath.Sum(w); s < 0.999 || s > 1.001 {
+			t.Fatalf("weights sum to %v (byData=%v)", s, byData)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package fl implements the federated-learning engine: the parameter-
+// server round loop of Section II of the paper, with algorithm hooks that
+// let each method (FedAvg, FedProx, FoolsGold, Scaffold, STEM, FedACG, and
+// TACO) plug in its loss regularization, per-step gradient correction, and
+// aggregation rule. The engine runs clients in parallel with deterministic
+// per-client random streams, measures both real and modeled client
+// computation time, and detects divergence (the paper's "×" outcomes).
+package fl
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Config holds the engine parameters shared by every algorithm, following
+// the notation of Section II: K local steps of mini-batch SGD with local
+// rate ηl, then a server step with global rate ηg.
+type Config struct {
+	// Rounds is T, the number of communication rounds.
+	Rounds int
+	// LocalSteps is K, the number of local updates per round.
+	LocalSteps int
+	// BatchSize is s, the mini-batch size.
+	BatchSize int
+	// LocalLR is ηl.
+	LocalLR float64
+	// GlobalLR is ηg; 0 means the paper's default ηg = K·ηl.
+	GlobalLR float64
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Parallelism bounds concurrent client execution; 0 means GOMAXPROCS.
+	Parallelism int
+	// EvalEvery evaluates test accuracy every this many rounds; 0 means 1.
+	EvalEvery int
+	// WeightByData selects p_i = D_i/D aggregation weights instead of 1/N
+	// for the algorithms that honor static weights.
+	WeightByData bool
+	// Freeloaders lists client IDs that upload replayed global gradients
+	// instead of training (Section IV-A's lazy clients).
+	Freeloaders []int
+	// ParticipationFraction selects the fraction of active clients that
+	// train each round (uniformly sampled per round). 0 or 1 means full
+	// participation, the paper's setting; values in between exercise the
+	// partial-participation extension.
+	ParticipationFraction float64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("fl: Rounds %d must be positive", c.Rounds)
+	case c.LocalSteps <= 0:
+		return fmt.Errorf("fl: LocalSteps %d must be positive", c.LocalSteps)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("fl: BatchSize %d must be positive", c.BatchSize)
+	case c.LocalLR <= 0:
+		return fmt.Errorf("fl: LocalLR %v must be positive", c.LocalLR)
+	case c.GlobalLR < 0:
+		return fmt.Errorf("fl: GlobalLR %v must be non-negative", c.GlobalLR)
+	case c.ParticipationFraction < 0 || c.ParticipationFraction > 1:
+		return fmt.Errorf("fl: ParticipationFraction %v must be in [0,1]", c.ParticipationFraction)
+	}
+	return nil
+}
+
+// globalLR resolves the ηg default.
+func (c Config) globalLR() float64 {
+	if c.GlobalLR > 0 {
+		return c.GlobalLR
+	}
+	return float64(c.LocalSteps) * c.LocalLR
+}
+
+// parallelism resolves the worker-pool default.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// evalEvery resolves the evaluation cadence default.
+func (c Config) evalEvery() int {
+	if c.EvalEvery > 0 {
+		return c.EvalEvery
+	}
+	return 1
+}
+
+// freeloaderSet converts the freeloader list into a lookup set.
+func (c Config) freeloaderSet() map[int]bool {
+	if len(c.Freeloaders) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(c.Freeloaders))
+	for _, id := range c.Freeloaders {
+		set[id] = true
+	}
+	return set
+}

@@ -1,0 +1,314 @@
+package fl
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// Result is the outcome of one federated training run.
+type Result struct {
+	// Run is the per-round metric history.
+	Run *metrics.Run
+	// FinalParams is the algorithm's final output model (z_T for TACO).
+	FinalParams []float64
+	// Expelled maps expelled client IDs to the round of expulsion.
+	Expelled map[int]int
+}
+
+// client is the engine's per-client state.
+type client struct {
+	id      int
+	data    *dataset.Dataset
+	sampler *dataset.Sampler
+	eng     *nn.Engine
+	// Buffers reused across rounds.
+	w0, w, delta, grad, scratch []float64
+	batchX                      []float64
+	batchY                      []int
+	lastLoss                    float64
+	freeloader                  bool
+}
+
+// Run trains net with the given algorithm over the client shards and
+// evaluates on test, returning the full metric history. The run is
+// deterministic for a fixed Config.Seed at any parallelism level.
+func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(shards)
+	if n == 0 {
+		return nil, fmt.Errorf("fl: no client shards")
+	}
+	for i, s := range shards {
+		if s.Len() == 0 {
+			return nil, fmt.Errorf("fl: client %d has no data", i)
+		}
+	}
+	freeloaders := cfg.freeloaderSet()
+	for id := range freeloaders {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("fl: freeloader id %d outside [0,%d)", id, n)
+		}
+	}
+
+	root := rng.New(cfg.Seed)
+	params := net.InitParams(root.Derive("init", 0))
+	numParams := net.NumParams()
+	inSize := net.InShape().Size()
+
+	clients := make([]*client, n)
+	dataSizes := make([]int, n)
+	for i, shard := range shards {
+		clients[i] = &client{
+			id:      i,
+			data:    shard,
+			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
+			eng:     nn.NewEngine(net, cfg.BatchSize),
+			w0:      make([]float64, numParams),
+			w:       make([]float64, numParams),
+			delta:   make([]float64, numParams),
+			grad:    make([]float64, numParams),
+			scratch: make([]float64, numParams),
+			batchX:  make([]float64, cfg.BatchSize*inSize),
+			batchY:  make([]int, cfg.BatchSize),
+
+			freeloader: freeloaders[i],
+		}
+		dataSizes[i] = shard.Len()
+	}
+
+	env := &Env{
+		Net:        net,
+		NumClients: n,
+		NumParams:  numParams,
+		DataSizes:  dataSizes,
+		Cfg:        cfg,
+	}
+	alg.Setup(env)
+
+	evalEng := nn.NewEngine(net, min(256, max(1, test.Len())))
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	expelled := make(map[int]int)
+	run := &metrics.Run{Algorithm: alg.Name(), Dataset: test.Name}
+
+	wPrev := vecmath.Clone(params)
+	modeledRound := simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs())
+	participationRNG := root.Derive("participation", 0)
+
+	for t := 0; t < cfg.Rounds; t++ {
+		// Collect the round's participating clients in ID order.
+		ids := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if active[i] {
+				ids = append(ids, i)
+			}
+		}
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("fl: all clients expelled by round %d", t)
+		}
+		if f := cfg.ParticipationFraction; f > 0 && f < 1 {
+			take := max(int(f*float64(len(ids))+0.5), 1)
+			picked := participationRNG.SampleWithoutReplacement(len(ids), take)
+			sort.Ints(picked)
+			sampled := make([]int, take)
+			for j, p := range picked {
+				sampled[j] = ids[p]
+			}
+			ids = sampled
+		}
+
+		updates := make([]Update, len(ids))
+		measured := make([]float64, len(ids))
+		runLocalRounds(cfg, alg, clients, ids, t, params, wPrev, updates, measured)
+
+		// Slowest honest client's computation time (the paper measures the
+		// slowest client per round; freeloaders do no work).
+		var slowestMeasured float64
+		anyHonest := false
+		for j, id := range ids {
+			if clients[id].freeloader {
+				continue
+			}
+			anyHonest = true
+			if measured[j] > slowestMeasured {
+				slowestMeasured = measured[j]
+			}
+		}
+		slowestModeled := modeledRound
+		if !anyHonest {
+			slowestModeled = 0
+		}
+
+		// Aggregate.
+		copy(wPrev, params)
+		server := &ServerCtx{
+			Round:  t,
+			W:      params,
+			WPrev:  wPrev,
+			Env:    env,
+			Active: active,
+		}
+		alg.Aggregate(server, updates)
+		for _, id := range server.expelled {
+			if active[id] {
+				active[id] = false
+				expelled[id] = t
+			}
+		}
+
+		// Divergence check: the paper's convergence failures ("×").
+		if !vecmath.AllFinite(params) {
+			run.Diverged = true
+			run.DivergedRound = t
+			break
+		}
+
+		rec := metrics.Round{
+			Index:              t,
+			TrainLoss:          meanLoss(updates),
+			SlowestModeledSec:  slowestModeled,
+			SlowestMeasuredSec: slowestMeasured,
+			MeanAlpha:          alg.MeanAlpha(),
+		}
+		// Evaluation uses the algorithm's output model: Definition 2 calls
+		// z_t "the final model output after communication round t", and by
+		// Lemma 2 the z sequence advances by the plain averaged mini-batch
+		// gradient (z^{t+1} = z^t − ηg·˜∆^t), cancelling the momentum in
+		// the w sequence. For every other algorithm FinalModel is w itself.
+		if (t+1)%cfg.evalEvery() == 0 || t == cfg.Rounds-1 {
+			rec.Accuracy = evalEng.Accuracy(alg.FinalModel(params), test.X, test.Y)
+		} else if len(run.Rounds) > 0 {
+			rec.Accuracy = run.Rounds[len(run.Rounds)-1].Accuracy
+		}
+		run.Append(rec)
+	}
+
+	return &Result{
+		Run:         run,
+		FinalParams: vecmath.Clone(alg.FinalModel(params)),
+		Expelled:    expelled,
+	}, nil
+}
+
+// runLocalRounds executes the round's local updates for the given client
+// IDs with a bounded worker pool, writing each client's Update and
+// measured seconds into the slot matching its position in ids.
+func runLocalRounds(cfg Config, alg Algorithm, clients []*client, ids []int, round int, global, prevGlobal []float64, updates []Update, measured []float64) {
+	workers := min(cfg.parallelism(), len(ids))
+	var wg sync.WaitGroup
+	jobs := make(chan int) // index into ids
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				id := ids[j]
+				start := time.Now()
+				if clients[id].freeloader {
+					freeloaderUpdate(cfg, clients[id], round, global, prevGlobal)
+				} else {
+					localUpdate(cfg, alg, clients[id], round, global)
+				}
+				measured[j] = time.Since(start).Seconds()
+				c := clients[id]
+				updates[j] = Update{
+					Client:     id,
+					Delta:      c.delta,
+					NumSamples: c.data.Len(),
+					TrainLoss:  c.lastLoss,
+				}
+			}
+		}()
+	}
+	for j := range ids {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// localUpdate runs the K-step local loop of Eq. (4) with the algorithm's
+// corrections applied, producing Δ_i = w_{i,0} − w_{i,K} (Eq. (5)).
+func localUpdate(cfg Config, alg Algorithm, c *client, round int, global []float64) {
+	alg.LocalInit(c.id, round, global, c.w0)
+	alg.BeginLocal(c.id, round, c.w0)
+	copy(c.w, c.w0)
+	ctx := StepCtx{
+		Client:  c.id,
+		Round:   round,
+		W:       c.w,
+		W0:      c.w0,
+		Grad:    c.grad,
+		BatchX:  c.batchX,
+		BatchY:  c.batchY,
+		Eng:     c.eng,
+		Scratch: c.scratch,
+	}
+	var lossSum float64
+	for k := 0; k < cfg.LocalSteps; k++ {
+		c.sampler.Batch(c.batchX, c.batchY)
+		lossSum += c.eng.Gradient(c.w, c.batchX, c.batchY, c.grad)
+		ctx.Step = k
+		alg.GradAdjust(&ctx)
+		vecmath.AXPY(-cfg.LocalLR, c.grad, c.w)
+	}
+	vecmath.Sub(c.delta, c.w0, c.w)
+	alg.EndLocal(c.id, round, c.delta)
+	c.lastLoss = lossSum / float64(cfg.LocalSteps)
+}
+
+// freeloaderUpdate fabricates a lazy client's upload: it replays the
+// previous global update rescaled to look like an honest local delta
+// (Section IV-A: freeloaders "only upload previous global gradients ∆t
+// received without contributing any new local updates"). In round 0 there
+// is no previous gradient, so the freeloader uploads zeros.
+func freeloaderUpdate(cfg Config, c *client, round int, global, prevGlobal []float64) {
+	if round == 0 {
+		vecmath.Zero(c.delta)
+	} else {
+		// w^t = w^{t−1} − ηg·∆^t  ⇒  ∆^t = (w^{t−1} − w^t)/ηg. An honest
+		// delta has magnitude ≈ K·ηl·∆, so replay with that scale.
+		scale := float64(cfg.LocalSteps) * cfg.LocalLR / cfg.globalLR()
+		vecmath.Sub(c.delta, prevGlobal, global)
+		vecmath.Scale(scale, c.delta)
+	}
+	c.lastLoss = 0
+}
+
+func meanLoss(updates []Update) float64 {
+	if len(updates) == 0 {
+		return 0
+	}
+	var sum float64
+	cnt := 0
+	for _, u := range updates {
+		if u.TrainLoss != 0 {
+			sum += u.TrainLoss
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// SortUpdatesByClient orders updates by client ID; aggregation code relies
+// on this for reproducibility. The engine produces them ordered already;
+// the helper exists for tests and external callers.
+func SortUpdatesByClient(updates []Update) {
+	sort.Slice(updates, func(i, j int) bool { return updates[i].Client < updates[j].Client })
+}

@@ -1,0 +1,341 @@
+package fl_test
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// testSetup builds a small 8-client adult-MLP federation.
+func testSetup(t *testing.T, clients int) (*nn.Network, []*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Standard("adult", dataset.ScaleSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, clients, 0.5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataset.Model("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, part.Shards(train), test
+}
+
+func quickConfig() fl.Config {
+	return fl.Config{
+		Rounds:     6,
+		LocalSteps: 5,
+		BatchSize:  16,
+		LocalLR:    0.05,
+		Seed:       11,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*fl.Config)
+	}{
+		{"zero rounds", func(c *fl.Config) { c.Rounds = 0 }},
+		{"zero steps", func(c *fl.Config) { c.LocalSteps = 0 }},
+		{"zero batch", func(c *fl.Config) { c.BatchSize = 0 }},
+		{"zero lr", func(c *fl.Config) { c.LocalLR = 0 }},
+		{"negative global lr", func(c *fl.Config) { c.GlobalLR = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := quickConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("expected a validation error")
+			}
+		})
+	}
+	if err := quickConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunImprovesAccuracy(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	res, err := fl.Run(quickConfig(), baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := res.Run
+	if len(run.Rounds) != 6 {
+		t.Fatalf("recorded %d rounds, want 6", len(run.Rounds))
+	}
+	first := run.Rounds[0].Accuracy
+	final := run.FinalAccuracy()
+	if final <= first {
+		t.Fatalf("no learning: round1 %.4f -> final %.4f", first, final)
+	}
+	if final < 0.6 {
+		t.Fatalf("final accuracy %.4f too low for adult", final)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	cfgSerial := quickConfig()
+	cfgSerial.Parallelism = 1
+	cfgParallel := quickConfig()
+	cfgParallel.Parallelism = 8
+
+	resA, err := fl.Run(cfgSerial, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := fl.Run(cfgParallel, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA.FinalParams {
+		if resA.FinalParams[i] != resB.FinalParams[i] {
+			t.Fatal("parameters differ across parallelism levels")
+		}
+	}
+	for i := range resA.Run.Rounds {
+		if resA.Run.Rounds[i].Accuracy != resB.Run.Rounds[i].Accuracy {
+			t.Fatal("accuracy history differs across parallelism levels")
+		}
+	}
+}
+
+func TestRunDeterministicSameSeed(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	resA, err := fl.Run(quickConfig(), core.New(core.Config{}), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := fl.Run(quickConfig(), core.New(core.Config{}), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resA.FinalParams {
+		if resA.FinalParams[i] != resB.FinalParams[i] {
+			t.Fatal("TACO run not reproducible with identical seeds")
+		}
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	cfgA := quickConfig()
+	cfgB := quickConfig()
+	cfgB.Seed = 999
+	resA, err := fl.Run(cfgA, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := fl.Run(cfgB, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range resA.FinalParams {
+		if resA.FinalParams[i] != resB.FinalParams[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical models")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	net, shards, test := testSetup(t, 4)
+	t.Run("no shards", func(t *testing.T) {
+		if _, err := fl.Run(quickConfig(), baselines.NewFedAvg(), net, nil, test); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("bad config", func(t *testing.T) {
+		cfg := quickConfig()
+		cfg.Rounds = 0
+		if _, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+	t.Run("bad freeloader id", func(t *testing.T) {
+		cfg := quickConfig()
+		cfg.Freeloaders = []int{99}
+		if _, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+func TestAllAlgorithmsRun(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	algs := []fl.Algorithm{
+		baselines.NewFedAvg(),
+		baselines.NewFedProx(0.1),
+		baselines.NewFoolsGold(),
+		baselines.NewScaffold(1),
+		baselines.NewSTEM(0.2),
+		baselines.NewFedACG(0.001),
+		core.New(core.Config{}),
+		core.NewFedProxTACO(0.1),
+		core.NewScaffoldTACO(),
+	}
+	for _, alg := range algs {
+		t.Run(alg.Name(), func(t *testing.T) {
+			res, err := fl.Run(quickConfig(), alg, net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Run.Diverged {
+				t.Fatalf("%s diverged on the easy setup", alg.Name())
+			}
+			if res.Run.FinalAccuracy() < 0.55 {
+				t.Fatalf("%s final accuracy %.4f too low", alg.Name(), res.Run.FinalAccuracy())
+			}
+		})
+	}
+}
+
+func TestTimingRecorded(t *testing.T) {
+	net, shards, test := testSetup(t, 4)
+	res, err := fl.Run(quickConfig(), baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range res.Run.Rounds {
+		if rec.SlowestModeledSec <= 0 {
+			t.Fatalf("round %d modeled time %v, want > 0", i, rec.SlowestModeledSec)
+		}
+		if rec.SlowestMeasuredSec <= 0 {
+			t.Fatalf("round %d measured time %v, want > 0", i, rec.SlowestMeasuredSec)
+		}
+	}
+	last := res.Run.Rounds[len(res.Run.Rounds)-1]
+	if last.CumModeledSec <= last.SlowestModeledSec*0.99 {
+		t.Fatal("cumulative modeled time not accumulating")
+	}
+}
+
+func TestSTEMCostsMoreModeledTime(t *testing.T) {
+	net, shards, test := testSetup(t, 4)
+	fedavg, err := fl.Run(quickConfig(), baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stem, err := fl.Run(quickConfig(), baselines.NewSTEM(0.2), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stem.Run.Rounds[0].SlowestModeledSec <= fedavg.Run.Rounds[0].SlowestModeledSec {
+		t.Fatal("STEM must cost more modeled time per round than FedAvg")
+	}
+}
+
+func TestWeightByData(t *testing.T) {
+	net, shards, test := testSetup(t, 5)
+	cfg := quickConfig()
+	cfg.WeightByData = true
+	res, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.FinalAccuracy() < 0.55 {
+		t.Fatalf("data-weighted FedAvg accuracy %.4f too low", res.Run.FinalAccuracy())
+	}
+}
+
+func TestAggregationWeights(t *testing.T) {
+	updates := []fl.Update{
+		{Client: 0, NumSamples: 10},
+		{Client: 1, NumSamples: 30},
+	}
+	uniform := fl.AggregationWeights(updates, false)
+	if uniform[0] != 0.5 || uniform[1] != 0.5 {
+		t.Fatalf("uniform weights = %v", uniform)
+	}
+	byData := fl.AggregationWeights(updates, true)
+	if byData[0] != 0.25 || byData[1] != 0.75 {
+		t.Fatalf("data weights = %v", byData)
+	}
+}
+
+func TestFreeloaderUploadsReplay(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	cfg := quickConfig()
+	cfg.Freeloaders = []int{5}
+	res, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine's replay mechanism must keep training functional: a
+	// single freeloader merely echoes the previous global step.
+	if res.Run.FinalAccuracy() < 0.55 {
+		t.Fatalf("accuracy %.4f with one freeloader", res.Run.FinalAccuracy())
+	}
+	// The freeloader reports no training loss, so the mean loss comes
+	// from honest clients only and must be finite and positive.
+	if last := res.Run.Rounds[len(res.Run.Rounds)-1]; last.TrainLoss <= 0 {
+		t.Fatalf("train loss %v with freeloader present", last.TrainLoss)
+	}
+}
+
+func TestPartialParticipation(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	cfg := quickConfig()
+	cfg.ParticipationFraction = 0.5
+	res, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.FinalAccuracy() < 0.55 {
+		t.Fatalf("partial participation accuracy %.4f too low", res.Run.FinalAccuracy())
+	}
+	// Determinism must hold under sampling too.
+	res2, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.FinalParams {
+		if res.FinalParams[i] != res2.FinalParams[i] {
+			t.Fatal("partial participation broke determinism")
+		}
+	}
+	// Different from the full-participation run.
+	full := quickConfig()
+	resFull, err := fl.Run(full, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range res.FinalParams {
+		if res.FinalParams[i] != resFull.FinalParams[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sampling had no effect on the trajectory")
+	}
+}
+
+func TestParticipationValidation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.ParticipationFraction = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected validation error for fraction > 1")
+	}
+	cfg.ParticipationFraction = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("expected validation error for negative fraction")
+	}
+}

@@ -1,0 +1,89 @@
+package fl_test
+
+import (
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/simclock"
+)
+
+// expelEarly is a minimal algorithm that expels one client at a fixed
+// round, to test the engine's active-set handling in isolation.
+type expelEarly struct {
+	fl.Base
+	victim       int
+	atRound      int
+	seenAfter    bool
+	updatesCount []int
+}
+
+func (a *expelEarly) Name() string { return "expelEarly" }
+
+func (a *expelEarly) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	a.updatesCount = append(a.updatesCount, len(updates))
+	for _, u := range updates {
+		if u.Client == a.victim && s.Round > a.atRound {
+			a.seenAfter = true
+		}
+	}
+	if s.Round == a.atRound {
+		s.Expel(a.victim)
+	}
+	fl.FedAvgStep(s, updates)
+}
+
+func (a *expelEarly) Costs() simclock.Costs { return simclock.Plain() }
+
+func TestEngineExpulsion(t *testing.T) {
+	net, shards, test := testSetup(t, 5)
+	alg := &expelEarly{victim: 2, atRound: 1}
+	cfg := quickConfig()
+	res, err := fl.Run(cfg, alg, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round, ok := res.Expelled[2]; !ok || round != 1 {
+		t.Fatalf("Expelled = %v, want client 2 at round 1", res.Expelled)
+	}
+	if alg.seenAfter {
+		t.Fatal("expelled client still produced updates")
+	}
+	// Rounds 0-1 aggregate 5 clients, later rounds 4.
+	if alg.updatesCount[0] != 5 || alg.updatesCount[1] != 5 {
+		t.Fatalf("pre-expulsion update counts = %v", alg.updatesCount[:2])
+	}
+	for r, n := range alg.updatesCount[2:] {
+		if n != 4 {
+			t.Fatalf("round %d aggregated %d updates, want 4", r+2, n)
+		}
+	}
+	if res.Run.FinalAccuracy() < 0.5 {
+		t.Fatalf("training broke after expulsion: %.4f", res.Run.FinalAccuracy())
+	}
+}
+
+// TestAllClientsExpelledErrors covers the engine's guard against an empty
+// federation.
+func TestAllClientsExpelledErrors(t *testing.T) {
+	net, shards, test := testSetup(t, 2)
+	alg := &expelAll{}
+	cfg := quickConfig()
+	if _, err := fl.Run(cfg, alg, net, shards, test); err == nil {
+		t.Fatal("expected an error when every client is expelled")
+	}
+}
+
+type expelAll struct {
+	fl.Base
+}
+
+func (a *expelAll) Name() string { return "expelAll" }
+
+func (a *expelAll) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	for _, u := range updates {
+		s.Expel(u.Client)
+	}
+	fl.FedAvgStep(s, updates)
+}
+
+func (a *expelAll) Costs() simclock.Costs { return simclock.Plain() }

@@ -1,0 +1,156 @@
+// Package metrics records per-round federated-learning results and derives
+// the paper's two efficiency measures: round-to-accuracy (rounds needed to
+// reach a target test accuracy) and time-to-accuracy (cumulative client
+// computation time needed to reach it).
+package metrics
+
+import "math"
+
+// Round is one communication round's outcome.
+type Round struct {
+	Index int
+	// Accuracy is the global model's test accuracy after this round.
+	Accuracy float64
+	// TrainLoss is the mean local training loss reported by clients.
+	TrainLoss float64
+	// SlowestModeledSec is the modeled computation time of the slowest
+	// client this round (the paper records the slowest client per round).
+	SlowestModeledSec float64
+	// SlowestMeasuredSec is the real measured Go time of the slowest client.
+	SlowestMeasuredSec float64
+	// CumModeledSec and CumMeasuredSec accumulate the slowest-client times
+	// across rounds, matching Fig. 4's cumulative cost curves.
+	CumModeledSec  float64
+	CumMeasuredSec float64
+	// MeanAlpha is the mean TACO correction coefficient this round
+	// (0 for algorithms without one).
+	MeanAlpha float64
+}
+
+// Run is the full history of one FL training run.
+type Run struct {
+	Algorithm string
+	Dataset   string
+	Rounds    []Round
+	// Diverged records a convergence failure (non-finite parameters),
+	// the paper's "×" entries.
+	Diverged      bool
+	DivergedRound int
+}
+
+// Append adds a round record, maintaining cumulative times.
+func (r *Run) Append(rec Round) {
+	if n := len(r.Rounds); n > 0 {
+		rec.CumModeledSec = r.Rounds[n-1].CumModeledSec + rec.SlowestModeledSec
+		rec.CumMeasuredSec = r.Rounds[n-1].CumMeasuredSec + rec.SlowestMeasuredSec
+	} else {
+		rec.CumModeledSec = rec.SlowestModeledSec
+		rec.CumMeasuredSec = rec.SlowestMeasuredSec
+	}
+	r.Rounds = append(r.Rounds, rec)
+}
+
+// FinalAccuracy returns the last recorded test accuracy (0 when empty).
+func (r *Run) FinalAccuracy() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	return r.Rounds[len(r.Rounds)-1].Accuracy
+}
+
+// BestAccuracy returns the highest test accuracy seen during the run.
+func (r *Run) BestAccuracy() float64 {
+	best := 0.0
+	for _, rec := range r.Rounds {
+		if rec.Accuracy > best {
+			best = rec.Accuracy
+		}
+	}
+	return best
+}
+
+// RoundsToAccuracy returns the 1-based round at which the run first reached
+// the target accuracy, and whether it ever did.
+func (r *Run) RoundsToAccuracy(target float64) (int, bool) {
+	for _, rec := range r.Rounds {
+		if rec.Accuracy >= target {
+			return rec.Index + 1, true
+		}
+	}
+	return 0, false
+}
+
+// ModeledTimeToAccuracy returns the cumulative modeled client time at which
+// the run first reached the target accuracy.
+func (r *Run) ModeledTimeToAccuracy(target float64) (float64, bool) {
+	for _, rec := range r.Rounds {
+		if rec.Accuracy >= target {
+			return rec.CumModeledSec, true
+		}
+	}
+	return math.Inf(1), false
+}
+
+// MeasuredTimeToAccuracy is ModeledTimeToAccuracy for real measured time.
+func (r *Run) MeasuredTimeToAccuracy(target float64) (float64, bool) {
+	for _, rec := range r.Rounds {
+		if rec.Accuracy >= target {
+			return rec.CumMeasuredSec, true
+		}
+	}
+	return math.Inf(1), false
+}
+
+// MedianSlowestModeledSec returns the median per-round modeled time of the
+// slowest client, the statistic shown by the paper's Fig. 5 box plots.
+func (r *Run) MedianSlowestModeledSec() float64 {
+	return median(r.collect(func(rec Round) float64 { return rec.SlowestModeledSec }))
+}
+
+// MedianSlowestMeasuredSec is the measured-time analogue.
+func (r *Run) MedianSlowestMeasuredSec() float64 {
+	return median(r.collect(func(rec Round) float64 { return rec.SlowestMeasuredSec }))
+}
+
+func (r *Run) collect(f func(Round) float64) []float64 {
+	out := make([]float64, len(r.Rounds))
+	for i, rec := range r.Rounds {
+		out[i] = f(rec)
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	// Insertion sort: round counts are small.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MeanStd returns the mean and population standard deviation of xs.
+func MeanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleRun() *Run {
+	r := &Run{Algorithm: "X", Dataset: "d"}
+	accs := []float64{0.2, 0.5, 0.7, 0.65, 0.8}
+	for i, a := range accs {
+		r.Append(Round{
+			Index:              i,
+			Accuracy:           a,
+			SlowestModeledSec:  1.0,
+			SlowestMeasuredSec: 0.5,
+		})
+	}
+	return r
+}
+
+func TestAppendAccumulatesTime(t *testing.T) {
+	r := sampleRun()
+	last := r.Rounds[len(r.Rounds)-1]
+	if last.CumModeledSec != 5 {
+		t.Fatalf("CumModeledSec = %v, want 5", last.CumModeledSec)
+	}
+	if last.CumMeasuredSec != 2.5 {
+		t.Fatalf("CumMeasuredSec = %v, want 2.5", last.CumMeasuredSec)
+	}
+}
+
+func TestFinalAndBestAccuracy(t *testing.T) {
+	r := sampleRun()
+	if r.FinalAccuracy() != 0.8 {
+		t.Fatalf("FinalAccuracy = %v", r.FinalAccuracy())
+	}
+	if r.BestAccuracy() != 0.8 {
+		t.Fatalf("BestAccuracy = %v", r.BestAccuracy())
+	}
+	empty := &Run{}
+	if empty.FinalAccuracy() != 0 || empty.BestAccuracy() != 0 {
+		t.Fatal("empty run accuracies must be 0")
+	}
+}
+
+func TestRoundsToAccuracy(t *testing.T) {
+	r := sampleRun()
+	rounds, ok := r.RoundsToAccuracy(0.7)
+	if !ok || rounds != 3 {
+		t.Fatalf("RoundsToAccuracy(0.7) = %d,%v want 3,true", rounds, ok)
+	}
+	if _, ok := r.RoundsToAccuracy(0.95); ok {
+		t.Fatal("unreachable target must report false")
+	}
+}
+
+func TestTimeToAccuracy(t *testing.T) {
+	r := sampleRun()
+	sec, ok := r.ModeledTimeToAccuracy(0.7)
+	if !ok || sec != 3 {
+		t.Fatalf("ModeledTimeToAccuracy = %v,%v want 3,true", sec, ok)
+	}
+	if sec, ok := r.ModeledTimeToAccuracy(0.99); ok || !math.IsInf(sec, 1) {
+		t.Fatal("unreachable target must be +Inf,false")
+	}
+	msec, ok := r.MeasuredTimeToAccuracy(0.7)
+	if !ok || msec != 1.5 {
+		t.Fatalf("MeasuredTimeToAccuracy = %v, want 1.5", msec)
+	}
+}
+
+func TestMedians(t *testing.T) {
+	r := &Run{}
+	for i, v := range []float64{3, 1, 2} {
+		r.Append(Round{Index: i, SlowestModeledSec: v, SlowestMeasuredSec: v * 2})
+	}
+	if got := r.MedianSlowestModeledSec(); got != 2 {
+		t.Fatalf("median modeled = %v, want 2", got)
+	}
+	if got := r.MedianSlowestMeasuredSec(); got != 4 {
+		t.Fatalf("median measured = %v, want 4", got)
+	}
+	even := &Run{}
+	for i, v := range []float64{4, 1, 3, 2} {
+		even.Append(Round{Index: i, SlowestModeledSec: v})
+	}
+	if got := even.MedianSlowestModeledSec(); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if (&Run{}).MedianSlowestModeledSec() != 0 {
+		t.Fatal("empty median must be 0")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	if math.Abs(std-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty MeanStd must be 0,0")
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"repro/internal/rng"
+)
+
+// relu applies y = max(0, x) elementwise; shape-preserving.
+type relu struct {
+	in Shape
+}
+
+// ReLU appends a rectified-linear activation.
+func (b *Builder) ReLU() *Builder {
+	return b.add(&relu{in: b.cur()}, nil)
+}
+
+func (l *relu) name() string                   { return "relu" }
+func (l *relu) inShape() Shape                 { return l.in }
+func (l *relu) outShape() Shape                { return l.in }
+func (l *relu) paramCount() int                { return 0 }
+func (l *relu) initParams([]float64, *rng.RNG) {}
+
+func (l *relu) forward(_, x, y []float64, batch int, _ *scratch) {
+	n := batch * l.in.Size()
+	for i := 0; i < n; i++ {
+		if x[i] > 0 {
+			y[i] = x[i]
+		} else {
+			y[i] = 0
+		}
+	}
+}
+
+func (l *relu) backward(_, x, _, dy, dx, _ []float64, batch int, _ *scratch) {
+	n := batch * l.in.Size()
+	for i := 0; i < n; i++ {
+		if x[i] > 0 {
+			dx[i] = dy[i]
+		} else {
+			dx[i] = 0
+		}
+	}
+}
+
+// tanhLayer applies y = tanh(x) elementwise; shape-preserving. Used by the
+// MLP head variants and available for recurrent models.
+type tanhLayer struct {
+	in Shape
+}
+
+// Tanh appends a hyperbolic-tangent activation.
+func (b *Builder) Tanh() *Builder {
+	return b.add(&tanhLayer{in: b.cur()}, nil)
+}
+
+func (l *tanhLayer) name() string                   { return "tanh" }
+func (l *tanhLayer) inShape() Shape                 { return l.in }
+func (l *tanhLayer) outShape() Shape                { return l.in }
+func (l *tanhLayer) paramCount() int                { return 0 }
+func (l *tanhLayer) initParams([]float64, *rng.RNG) {}
+
+func (l *tanhLayer) forward(_, x, y []float64, batch int, _ *scratch) {
+	n := batch * l.in.Size()
+	for i := 0; i < n; i++ {
+		y[i] = tanhFast(x[i])
+	}
+}
+
+func (l *tanhLayer) backward(_, _, y, dy, dx, _ []float64, batch int, _ *scratch) {
+	n := batch * l.in.Size()
+	for i := 0; i < n; i++ {
+		dx[i] = dy[i] * (1 - y[i]*y[i])
+	}
+}

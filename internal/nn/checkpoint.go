@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+)
+
+// Checkpoint serialization: a compact binary format for trained parameter
+// vectors. The header carries a fingerprint of the architecture (layer
+// names, shapes, and parameter counts) so a checkpoint cannot be loaded
+// into a different network silently.
+
+var checkpointMagic = [8]byte{'T', 'A', 'C', 'O', 'C', 'K', 'P', '1'}
+
+// Fingerprint returns a stable hash of the architecture: layer kinds,
+// input shape, and per-layer parameter counts.
+func (n *Network) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "in=%v;", n.in)
+	for _, l := range n.layers {
+		fmt.Fprintf(h, "%s:%v->%v:%d;", l.name(), l.inShape(), l.outShape(), l.paramCount())
+	}
+	return h.Sum64()
+}
+
+// SaveParams writes params as a checkpoint for this network.
+func (n *Network) SaveParams(w io.Writer, params []float64) error {
+	if len(params) != n.total {
+		return fmt.Errorf("nn: checkpoint: have %d params, network needs %d", len(params), n.total)
+	}
+	var buf bytes.Buffer
+	buf.Write(checkpointMagic[:])
+	var header [16]byte
+	binary.LittleEndian.PutUint64(header[0:8], n.Fingerprint())
+	binary.LittleEndian.PutUint64(header[8:16], uint64(len(params)))
+	buf.Write(header[:])
+	var scratch [8]byte
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf.Write(scratch[:])
+	}
+	_, err := w.Write(buf.Bytes())
+	if err != nil {
+		return fmt.Errorf("nn: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint produced by SaveParams, verifying the
+// architecture fingerprint and length.
+func (n *Network) LoadParams(r io.Reader) ([]float64, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("nn: checkpoint: bad magic %q", magic[:])
+	}
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("nn: checkpoint read: %w", err)
+	}
+	fp := binary.LittleEndian.Uint64(header[0:8])
+	if fp != n.Fingerprint() {
+		return nil, fmt.Errorf("nn: checkpoint: architecture fingerprint %x does not match network %x", fp, n.Fingerprint())
+	}
+	count := binary.LittleEndian.Uint64(header[8:16])
+	if count != uint64(n.total) {
+		return nil, fmt.Errorf("nn: checkpoint: %d params recorded, network needs %d", count, n.total)
+	}
+	params := make([]float64, n.total)
+	var scratch [8]byte
+	for i := range params {
+		if _, err := io.ReadFull(r, scratch[:]); err != nil {
+			return nil, fmt.Errorf("nn: checkpoint truncated at param %d: %w", i, err)
+		}
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+	}
+	return params, nil
+}

@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	net := CNN(Shape{C: 1, H: 8, W: 8}, 10)
+	params := net.InitParams(rng.New(4))
+	var buf bytes.Buffer
+	if err := net.SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := net.LoadParams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		if loaded[i] != params[i] {
+			t.Fatalf("param %d: %v != %v", i, loaded[i], params[i])
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	src := MLP(10, 2)
+	dst := MLP(10, 3)
+	params := src.InitParams(rng.New(1))
+	var buf bytes.Buffer
+	if err := src.SaveParams(&buf, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.LoadParams(&buf); err == nil {
+		t.Fatal("expected a fingerprint mismatch error")
+	}
+}
+
+func TestCheckpointRejectsBadData(t *testing.T) {
+	net := MLP(4, 2)
+	t.Run("wrong length save", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := net.SaveParams(&buf, make([]float64, 3)); err == nil {
+			t.Fatal("expected length error")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		if _, err := net.LoadParams(bytes.NewReader([]byte("not a checkpoint....."))); err == nil {
+			t.Fatal("expected magic error")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		params := net.InitParams(rng.New(2))
+		var buf bytes.Buffer
+		if err := net.SaveParams(&buf, params); err != nil {
+			t.Fatal(err)
+		}
+		half := buf.Bytes()[:buf.Len()/2]
+		if _, err := net.LoadParams(bytes.NewReader(half)); err == nil {
+			t.Fatal("expected truncation error")
+		}
+	})
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := MLP(10, 2)
+	b := MLP(10, 2)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical architectures must share a fingerprint")
+	}
+	c := MLP(11, 2)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different input widths must change the fingerprint")
+	}
+	d := CNN(Shape{C: 1, H: 8, W: 8}, 10)
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different architectures must change the fingerprint")
+	}
+}

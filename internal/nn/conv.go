@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// conv2d is a 2-D convolution with square kernels, arbitrary stride, and
+// symmetric zero padding. Weights are laid out [outC][inC][k][k] followed
+// by one bias per output channel.
+type conv2d struct {
+	in          Shape
+	out         Shape
+	outC        int
+	k           int
+	stride, pad int
+}
+
+// Conv2D appends a convolution with outC output channels, k×k kernels, the
+// given stride, and symmetric zero padding pad.
+func (b *Builder) Conv2D(outC, k, stride, pad int) *Builder {
+	in := b.cur()
+	l, err := newConv2D(in, outC, k, stride, pad)
+	return b.add(l, err)
+}
+
+func newConv2D(in Shape, outC, k, stride, pad int) (*conv2d, error) {
+	if outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: Conv2D(outC=%d, k=%d, stride=%d, pad=%d) invalid", outC, k, stride, pad)
+	}
+	oh := (in.H+2*pad-k)/stride + 1
+	ow := (in.W+2*pad-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("nn: Conv2D kernel %d does not fit input %v with stride %d pad %d", k, in, stride, pad)
+	}
+	return &conv2d{
+		in:     in,
+		out:    Shape{C: outC, H: oh, W: ow},
+		outC:   outC,
+		k:      k,
+		stride: stride,
+		pad:    pad,
+	}, nil
+}
+
+func (l *conv2d) name() string    { return "conv2d" }
+func (l *conv2d) inShape() Shape  { return l.in }
+func (l *conv2d) outShape() Shape { return l.out }
+func (l *conv2d) paramCount() int { return l.outC*l.in.C*l.k*l.k + l.outC }
+
+func (l *conv2d) initParams(params []float64, r *rng.RNG) {
+	fanIn := l.in.C * l.k * l.k
+	limit := math.Sqrt(2.0 / float64(fanIn)) // Kaiming-normal-ish scale, uniform draw
+	nw := l.outC * fanIn
+	for i := 0; i < nw; i++ {
+		params[i] = (2*r.Float64() - 1) * limit
+	}
+	vecmath.Zero(params[nw:])
+}
+
+func (l *conv2d) forward(params, x, y []float64, batch int, _ *scratch) {
+	inC, inH, inW := l.in.C, l.in.H, l.in.W
+	outH, outW := l.out.H, l.out.W
+	ksz := l.k
+	w := params[:l.outC*inC*ksz*ksz]
+	bias := params[l.outC*inC*ksz*ksz:]
+	inSize := l.in.Size()
+	outSize := l.out.Size()
+	for s := 0; s < batch; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		ys := y[s*outSize : (s+1)*outSize]
+		for oc := 0; oc < l.outC; oc++ {
+			bOC := bias[oc]
+			for oy := 0; oy < outH; oy++ {
+				iy0 := oy*l.stride - l.pad
+				for ox := 0; ox < outW; ox++ {
+					ix0 := ox*l.stride - l.pad
+					sum := bOC
+					for ic := 0; ic < inC; ic++ {
+						wBase := ((oc*inC + ic) * ksz) * ksz
+						xBase := ic * inH * inW
+						for ky := 0; ky < ksz; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= inH {
+								continue
+							}
+							wRow := wBase + ky*ksz
+							xRow := xBase + iy*inW
+							for kx := 0; kx < ksz; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= inW {
+									continue
+								}
+								sum += w[wRow+kx] * xs[xRow+ix]
+							}
+						}
+					}
+					ys[(oc*outH+oy)*outW+ox] = sum
+				}
+			}
+		}
+	}
+}
+
+func (l *conv2d) backward(params, x, _, dy, dx, dparams []float64, batch int, _ *scratch) {
+	inC, inH, inW := l.in.C, l.in.H, l.in.W
+	outH, outW := l.out.H, l.out.W
+	ksz := l.k
+	nw := l.outC * inC * ksz * ksz
+	w := params[:nw]
+	dw := dparams[:nw]
+	db := dparams[nw:]
+	inSize := l.in.Size()
+	outSize := l.out.Size()
+	vecmath.Zero(dx[:batch*inSize])
+	for s := 0; s < batch; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		dys := dy[s*outSize : (s+1)*outSize]
+		dxs := dx[s*inSize : (s+1)*inSize]
+		for oc := 0; oc < l.outC; oc++ {
+			for oy := 0; oy < outH; oy++ {
+				iy0 := oy*l.stride - l.pad
+				for ox := 0; ox < outW; ox++ {
+					g := dys[(oc*outH+oy)*outW+ox]
+					if g == 0 {
+						continue
+					}
+					ix0 := ox*l.stride - l.pad
+					db[oc] += g
+					for ic := 0; ic < inC; ic++ {
+						wBase := ((oc*inC + ic) * ksz) * ksz
+						xBase := ic * inH * inW
+						for ky := 0; ky < ksz; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= inH {
+								continue
+							}
+							wRow := wBase + ky*ksz
+							xRow := xBase + iy*inW
+							for kx := 0; kx < ksz; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= inW {
+									continue
+								}
+								dw[wRow+kx] += g * xs[xRow+ix]
+								dxs[xRow+ix] += g * w[wRow+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// dense is a fully connected layer: y = x·W + b with W of size in×out.
+// A non-vector input shape is implicitly flattened.
+type dense struct {
+	in  Shape
+	out int
+}
+
+// Dense appends a fully connected layer with the given output width.
+func (b *Builder) Dense(out int) *Builder {
+	in := b.cur()
+	if out <= 0 {
+		return b.add(nil, fmt.Errorf("nn: Dense output width %d must be positive", out))
+	}
+	return b.add(&dense{in: in, out: out}, nil)
+}
+
+func (l *dense) name() string    { return "dense" }
+func (l *dense) inShape() Shape  { return l.in }
+func (l *dense) outShape() Shape { return Vec(l.out) }
+func (l *dense) paramCount() int { return l.in.Size()*l.out + l.out }
+
+func (l *dense) initParams(params []float64, r *rng.RNG) {
+	// Glorot-uniform keeps activations well-scaled for tanh/softmax heads
+	// and is close enough to Kaiming for the shallow ReLU stacks used here.
+	fanIn, fanOut := l.in.Size(), l.out
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	w := params[:fanIn*fanOut]
+	for i := range w {
+		w[i] = (2*r.Float64() - 1) * limit
+	}
+	vecmath.Zero(params[fanIn*fanOut:])
+}
+
+func (l *dense) forward(params, x, y []float64, batch int, _ *scratch) {
+	in := l.in.Size()
+	w := params[:in*l.out]
+	bias := params[in*l.out:]
+	vecmath.MatMul(y[:batch*l.out], x[:batch*in], w, batch, in, l.out)
+	vecmath.AddRowVector(y[:batch*l.out], bias, batch, l.out)
+}
+
+func (l *dense) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
+	in := l.in.Size()
+	w := params[:in*l.out]
+	dw := sc.floatBuf(in * l.out)
+	// dW = xᵀ·dy, accumulated into dparams.
+	vecmath.MatMulATB(dw, x[:batch*in], dy[:batch*l.out], batch, in, l.out)
+	vecmath.AXPY(1, dw, dparams[:in*l.out])
+	// db = column sums of dy.
+	db := dparams[in*l.out:]
+	for i := 0; i < batch; i++ {
+		row := dy[i*l.out : (i+1)*l.out]
+		for j, v := range row {
+			db[j] += v
+		}
+	}
+	// dx = dy·Wᵀ.
+	vecmath.MatMulABT(dx[:batch*in], dy[:batch*l.out], w, batch, l.out, in)
+}

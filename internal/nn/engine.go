@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/vecmath"
+)
+
+// Engine executes forward and backward passes for one Network. It owns all
+// activation and scratch buffers, so it is cheap to call repeatedly but not
+// safe for concurrent use: every concurrent worker (FL client goroutine)
+// must create its own Engine against the shared Network.
+type Engine struct {
+	net      *Network
+	maxBatch int
+	acts     [][]float64 // acts[i] is the output buffer of layer i-1 (acts[0] unused; input comes from caller)
+	dacts    [][]float64 // gradient buffers per boundary, same layout
+	scratch  []scratch
+}
+
+// NewEngine creates an execution engine supporting batches up to maxBatch.
+func NewEngine(net *Network, maxBatch int) *Engine {
+	if maxBatch <= 0 {
+		panic(fmt.Sprintf("nn: NewEngine maxBatch %d must be positive", maxBatch))
+	}
+	e := &Engine{
+		net:      net,
+		maxBatch: maxBatch,
+		acts:     make([][]float64, len(net.layers)+1),
+		dacts:    make([][]float64, len(net.layers)+1),
+		scratch:  make([]scratch, len(net.layers)),
+	}
+	for i, l := range net.layers {
+		e.acts[i+1] = make([]float64, maxBatch*l.outShape().Size())
+		e.dacts[i+1] = make([]float64, maxBatch*l.outShape().Size())
+	}
+	e.dacts[0] = make([]float64, maxBatch*net.in.Size())
+	return e
+}
+
+// Net returns the architecture this engine executes.
+func (e *Engine) Net() *Network { return e.net }
+
+func (e *Engine) checkBatch(x []float64, batch int) {
+	if batch <= 0 || batch > e.maxBatch {
+		panic(fmt.Sprintf("nn: batch %d out of range (1..%d)", batch, e.maxBatch))
+	}
+	if len(x) < batch*e.net.in.Size() {
+		panic(fmt.Sprintf("nn: input has %d floats, need %d", len(x), batch*e.net.in.Size()))
+	}
+}
+
+// forwardPass runs all layers; the final logits live in e.acts[len(layers)].
+func (e *Engine) forwardPass(params, x []float64, batch int) []float64 {
+	e.acts[0] = x
+	for i, l := range e.net.layers {
+		off := e.net.offsets[i]
+		p := params[off : off+l.paramCount()]
+		l.forward(p, e.acts[i], e.acts[i+1], batch, &e.scratch[i])
+	}
+	return e.acts[len(e.net.layers)]
+}
+
+// Gradient runs a full forward/backward pass over the mini-batch x (row-
+// major batch×inputSize) with integer labels, writes the gradient of the
+// mean loss into grad (zeroed first), and returns the mean loss.
+func (e *Engine) Gradient(params, x []float64, labels []int, grad []float64) float64 {
+	batch := len(labels)
+	e.checkBatch(x, batch)
+	if len(grad) != e.net.total {
+		panic(fmt.Sprintf("nn: grad has %d elements, want %d", len(grad), e.net.total))
+	}
+	logits := e.forwardPass(params, x, batch)
+	nl := len(e.net.layers)
+	loss := SoftmaxCrossEntropy(logits[:batch*e.net.classes], labels, e.net.classes, e.dacts[nl])
+	vecmath.Zero(grad)
+	for i := nl - 1; i >= 0; i-- {
+		l := e.net.layers[i]
+		off := e.net.offsets[i]
+		p := params[off : off+l.paramCount()]
+		dp := grad[off : off+l.paramCount()]
+		l.backward(p, e.acts[i], e.acts[i+1], e.dacts[i+1], e.dacts[i], dp, batch, &e.scratch[i])
+	}
+	return loss
+}
+
+// Loss runs a forward pass only and returns the mean cross-entropy loss.
+func (e *Engine) Loss(params, x []float64, labels []int) float64 {
+	batch := len(labels)
+	e.checkBatch(x, batch)
+	logits := e.forwardPass(params, x, batch)
+	return SoftmaxCrossEntropy(logits[:batch*e.net.classes], labels, e.net.classes, nil)
+}
+
+// Predict writes the argmax class of each of the batch inputs into out.
+func (e *Engine) Predict(params, x []float64, batch int, out []int) {
+	e.checkBatch(x, batch)
+	if len(out) < batch {
+		panic(fmt.Sprintf("nn: out has %d elements, need %d", len(out), batch))
+	}
+	logits := e.forwardPass(params, x, batch)
+	c := e.net.classes
+	for s := 0; s < batch; s++ {
+		out[s] = Argmax(logits[s*c : (s+1)*c])
+	}
+}
+
+// Accuracy evaluates classification accuracy over a full dataset given as
+// flattened features xs and labels, batching internally.
+func (e *Engine) Accuracy(params, xs []float64, labels []int) float64 {
+	n := len(labels)
+	if n == 0 {
+		return 0
+	}
+	inSize := e.net.in.Size()
+	preds := make([]int, e.maxBatch)
+	correct := 0
+	for start := 0; start < n; start += e.maxBatch {
+		end := min(start+e.maxBatch, n)
+		b := end - start
+		e.Predict(params, xs[start*inSize:end*inSize], b, preds)
+		for i := 0; i < b; i++ {
+			if preds[i] == labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n)
+}

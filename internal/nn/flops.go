@@ -1,0 +1,48 @@
+package nn
+
+// Deterministic floating-point-operation estimates. The simulated clock
+// (internal/simclock) converts these into modeled client computation time,
+// so that the paper's timing tables reproduce identically on any machine.
+// Estimates count forward-pass multiply-adds as 2 flops and charge the
+// backward pass at twice the forward cost, the standard rule of thumb.
+
+// FlopsPerSample estimates the flops of one forward pass for one sample.
+func (n *Network) FlopsPerSample() int64 {
+	var total int64
+	for _, l := range n.layers {
+		total += layerFlops(l)
+	}
+	return total
+}
+
+// GradFlops estimates the flops of one forward+backward pass over a
+// mini-batch of the given size.
+func (n *Network) GradFlops(batch int) int64 {
+	return 3 * n.FlopsPerSample() * int64(batch)
+}
+
+func layerFlops(l layer) int64 {
+	switch v := l.(type) {
+	case *dense:
+		return 2 * int64(v.in.Size()) * int64(v.out)
+	case *conv2d:
+		out := v.out
+		return 2 * int64(out.C) * int64(out.H) * int64(out.W) * int64(v.in.C) * int64(v.k) * int64(v.k)
+	case *relu:
+		return int64(v.in.Size())
+	case *tanhLayer:
+		return 4 * int64(v.in.Size())
+	case *maxPool2d:
+		return int64(v.in.Size())
+	case *globalAvgPool:
+		return int64(v.in.Size())
+	case *residualBlock:
+		return layerFlops(v.conv1) + layerFlops(v.conv2) + 3*int64(v.in.Size())
+	case *lstm:
+		// Per step: two matvecs into the four gates plus gate nonlinearities.
+		perStep := 2*int64(v.inDim+v.hidden)*int64(4*v.hidden) + 10*int64(v.hidden)
+		return int64(v.steps) * perStep
+	default:
+		return 0
+	}
+}

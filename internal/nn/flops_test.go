@@ -1,0 +1,37 @@
+package nn
+
+import "testing"
+
+func TestFlopsPositiveForAllModels(t *testing.T) {
+	models := map[string]*Network{
+		"mlp":    MLP(20, 2),
+		"cnn":    CNN(Shape{C: 1, H: 8, W: 8}, 10),
+		"resnet": ResNetLite(Shape{C: 3, H: 8, W: 8}, 50, 1),
+		"lstm":   CharLSTM(8, 12, 16),
+	}
+	for name, net := range models {
+		if f := net.FlopsPerSample(); f <= 0 {
+			t.Fatalf("%s FlopsPerSample = %d", name, f)
+		}
+		if g := net.GradFlops(32); g != 3*net.FlopsPerSample()*32 {
+			t.Fatalf("%s GradFlops(32) = %d, want 3×flops×32", name, g)
+		}
+	}
+}
+
+func TestFlopsOrderingMatchesModelSize(t *testing.T) {
+	mlp := MLP(20, 2)
+	cnn := CNN(Shape{C: 1, H: 8, W: 8}, 10)
+	resnet := ResNetLite(Shape{C: 3, H: 8, W: 8}, 50, 1)
+	if !(mlp.FlopsPerSample() < cnn.FlopsPerSample() && cnn.FlopsPerSample() < resnet.FlopsPerSample()) {
+		t.Fatalf("flops ordering violated: mlp %d cnn %d resnet %d",
+			mlp.FlopsPerSample(), cnn.FlopsPerSample(), resnet.FlopsPerSample())
+	}
+}
+
+func TestDenseFlopsExact(t *testing.T) {
+	net := NewBuilder(Vec(10)).Dense(5).MustBuild()
+	if got := net.FlopsPerSample(); got != 100 {
+		t.Fatalf("dense flops = %d, want 2·10·5 = 100", got)
+	}
+}

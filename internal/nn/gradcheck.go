@@ -1,0 +1,38 @@
+package nn
+
+import "math"
+
+// GradCheck compares the analytic gradient produced by Engine.Gradient
+// against central finite differences of the loss, returning the maximum
+// relative error over all parameters. It is exported for use by this
+// package's tests and by downstream tests that define custom layers.
+//
+// The relative error for parameter i is |g_i − ĝ_i| / max(1e-8, |g_i| +
+// |ĝ_i|), the symmetric form that stays meaningful near zero.
+func GradCheck(net *Network, params, x []float64, labels []int, h float64) float64 {
+	eng := NewEngine(net, len(labels))
+	analytic := make([]float64, net.NumParams())
+	eng.Gradient(params, x, labels, analytic)
+
+	p := make([]float64, len(params))
+	copy(p, params)
+	var worst float64
+	for i := range p {
+		orig := p[i]
+		p[i] = orig + h
+		lp := eng.Loss(p, x, labels)
+		p[i] = orig - h
+		lm := eng.Loss(p, x, labels)
+		p[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		denom := math.Abs(analytic[i]) + math.Abs(numeric)
+		if denom < 1e-8 {
+			denom = 1e-8
+		}
+		rel := math.Abs(analytic[i]-numeric) / denom
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

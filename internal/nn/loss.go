@@ -1,0 +1,49 @@
+package nn
+
+import "math"
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of a batch of
+// logits (batch×classes, row-major) against integer labels, and, when
+// dlogits is non-nil, writes the gradient of the mean loss with respect to
+// the logits into it (softmax(x) − onehot(y), scaled by 1/batch).
+func SoftmaxCrossEntropy(logits []float64, labels []int, classes int, dlogits []float64) float64 {
+	batch := len(labels)
+	invB := 1.0 / float64(batch)
+	var total float64
+	for s := 0; s < batch; s++ {
+		row := logits[s*classes : (s+1)*classes]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		y := labels[s]
+		total += logSum - row[y]
+		if dlogits != nil {
+			drow := dlogits[s*classes : (s+1)*classes]
+			for j, v := range row {
+				drow[j] = math.Exp(v-logSum) * invB
+			}
+			drow[y] -= invB
+		}
+	}
+	return total * invB
+}
+
+// Argmax returns the index of the largest element of row.
+func Argmax(row []float64) int {
+	best, bi := row[0], 0
+	for i, v := range row[1:] {
+		if v > best {
+			best = v
+			bi = i + 1
+		}
+	}
+	return bi
+}

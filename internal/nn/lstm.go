@@ -1,0 +1,225 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func tanhFast(x float64) float64 { return math.Tanh(x) }
+
+// lstm is a single-layer LSTM over a fixed-length sequence. The input is a
+// flattened sequence of steps×inDim features (for character models each
+// step is a one-hot vector); the output is the final hidden state h_T,
+// which a Dense head then maps to logits. Backpropagation through time
+// stores all gate activations for the full sequence.
+//
+// Parameter layout: Wx[inDim×4H] | Wh[H×4H] | b[4H], with gate order
+// input, forget, cell (g), output.
+type lstm struct {
+	in     Shape
+	steps  int
+	inDim  int
+	hidden int
+}
+
+// LSTM appends a recurrent layer that interprets the current activation as
+// a sequence of steps×inDim features and outputs the final hidden state of
+// size hidden.
+func (b *Builder) LSTM(steps, inDim, hidden int) *Builder {
+	in := b.cur()
+	if steps <= 0 || inDim <= 0 || hidden <= 0 {
+		return b.add(nil, fmt.Errorf("nn: LSTM(steps=%d, inDim=%d, hidden=%d) invalid", steps, inDim, hidden))
+	}
+	if in.Size() != steps*inDim {
+		return b.add(nil, fmt.Errorf("nn: LSTM expects input size %d (=%d steps × %d), have %v", steps*inDim, steps, inDim, in))
+	}
+	return b.add(&lstm{in: in, steps: steps, inDim: inDim, hidden: hidden}, nil)
+}
+
+func (l *lstm) name() string    { return "lstm" }
+func (l *lstm) inShape() Shape  { return l.in }
+func (l *lstm) outShape() Shape { return Vec(l.hidden) }
+func (l *lstm) paramCount() int {
+	h4 := 4 * l.hidden
+	return l.inDim*h4 + l.hidden*h4 + h4
+}
+
+func (l *lstm) initParams(params []float64, r *rng.RNG) {
+	h4 := 4 * l.hidden
+	limit := 1 / math.Sqrt(float64(l.hidden))
+	nW := l.inDim*h4 + l.hidden*h4
+	for i := 0; i < nW; i++ {
+		params[i] = (2*r.Float64() - 1) * limit
+	}
+	b := params[nW:]
+	vecmath.Zero(b)
+	// Forget-gate bias starts at 1 so early training retains memory.
+	for j := l.hidden; j < 2*l.hidden; j++ {
+		b[j] = 1
+	}
+}
+
+// Per-sample, per-step scratch record: i | f | g | o | c | tc (=tanh c) —
+// 6H floats. h_t is not stored separately: h_t = o*tc is recomputed from
+// the record when needed.
+const lstmRec = 6
+
+func (l *lstm) scratchSize(batch int) int {
+	perStep := lstmRec * l.hidden
+	// Sequence records + backward temporaries (dh, dc, dcNext, dz, hPrev).
+	return batch*l.steps*perStep + 3*l.hidden + 4*l.hidden + l.hidden
+}
+
+func (l *lstm) forward(params, x, y []float64, batch int, sc *scratch) {
+	h := l.hidden
+	h4 := 4 * h
+	wx := params[:l.inDim*h4]
+	wh := params[l.inDim*h4 : l.inDim*h4+h*h4]
+	bias := params[l.inDim*h4+h*h4:]
+	buf := sc.floatBuf(l.scratchSize(batch))
+	recs := buf[:batch*l.steps*lstmRec*h]
+	z := buf[len(buf)-h4-h : len(buf)-h] // gate pre-activations, reused
+	hPrev := buf[len(buf)-h:]
+
+	inSize := l.in.Size()
+	for s := 0; s < batch; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		vecmath.Zero(hPrev)
+		var cPrevRec []float64 // c_{t-1} slice inside recs, nil at t=0
+		for t := 0; t < l.steps; t++ {
+			rec := recs[(s*l.steps+t)*lstmRec*h : (s*l.steps+t+1)*lstmRec*h]
+			gi, gf, gg, go_ := rec[:h], rec[h:2*h], rec[2*h:3*h], rec[3*h:4*h]
+			c, tc := rec[4*h:5*h], rec[5*h:]
+			xt := xs[t*l.inDim : (t+1)*l.inDim]
+			// z = Wxᵀ x_t + Whᵀ h_{t-1} + b
+			copy(z, bias)
+			for k, xv := range xt {
+				if xv == 0 {
+					continue
+				}
+				row := wx[k*h4 : (k+1)*h4]
+				for j, wv := range row {
+					z[j] += xv * wv
+				}
+			}
+			for k, hv := range hPrev {
+				if hv == 0 {
+					continue
+				}
+				row := wh[k*h4 : (k+1)*h4]
+				for j, wv := range row {
+					z[j] += hv * wv
+				}
+			}
+			for j := 0; j < h; j++ {
+				gi[j] = sigmoid(z[j])
+				gf[j] = sigmoid(z[h+j])
+				gg[j] = tanhFast(z[2*h+j])
+				go_[j] = sigmoid(z[3*h+j])
+			}
+			for j := 0; j < h; j++ {
+				cp := 0.0
+				if cPrevRec != nil {
+					cp = cPrevRec[4*h+j]
+				}
+				c[j] = gf[j]*cp + gi[j]*gg[j]
+				tc[j] = tanhFast(c[j])
+				hPrev[j] = go_[j] * tc[j]
+			}
+			cPrevRec = rec
+		}
+		copy(y[s*h:(s+1)*h], hPrev)
+	}
+}
+
+func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
+	h := l.hidden
+	h4 := 4 * h
+	nwx := l.inDim * h4
+	nwh := h * h4
+	wx := params[:nwx]
+	wh := params[nwx : nwx+nwh]
+	dwx := dparams[:nwx]
+	dwh := dparams[nwx : nwx+nwh]
+	db := dparams[nwx+nwh:]
+
+	buf := sc.floatBuf(l.scratchSize(batch))
+	recs := buf[:batch*l.steps*lstmRec*h]
+	tmp := buf[batch*l.steps*lstmRec*h:]
+	dh, dc, dhNext := tmp[:h], tmp[h:2*h], tmp[2*h:3*h]
+	dz := tmp[3*h : 3*h+h4]
+
+	inSize := l.in.Size()
+	vecmath.Zero(dx[:batch*inSize])
+	for s := 0; s < batch; s++ {
+		xs := x[s*inSize : (s+1)*inSize]
+		dxs := dx[s*inSize : (s+1)*inSize]
+		copy(dh, dy[s*h:(s+1)*h])
+		vecmath.Zero(dc)
+		for t := l.steps - 1; t >= 0; t-- {
+			rec := recs[(s*l.steps+t)*lstmRec*h : (s*l.steps+t+1)*lstmRec*h]
+			gi, gf, gg, go_ := rec[:h], rec[h:2*h], rec[2*h:3*h], rec[3*h:4*h]
+			tc := rec[5*h:]
+			var cPrev []float64
+			if t > 0 {
+				prev := recs[(s*l.steps+t-1)*lstmRec*h : (s*l.steps+t)*lstmRec*h]
+				cPrev = prev[4*h : 5*h]
+			}
+			for j := 0; j < h; j++ {
+				do := dh[j] * tc[j]
+				dcj := dc[j] + dh[j]*go_[j]*(1-tc[j]*tc[j])
+				cp := 0.0
+				if cPrev != nil {
+					cp = cPrev[j]
+				}
+				di := dcj * gg[j]
+				df := dcj * cp
+				dg := dcj * gi[j]
+				dc[j] = dcj * gf[j] // becomes dc_{t-1}
+				dz[j] = di * gi[j] * (1 - gi[j])
+				dz[h+j] = df * gf[j] * (1 - gf[j])
+				dz[2*h+j] = dg * (1 - gg[j]*gg[j])
+				dz[3*h+j] = do * go_[j] * (1 - go_[j])
+			}
+			// Parameter gradients and upstream gradients.
+			xt := xs[t*l.inDim : (t+1)*l.inDim]
+			dxt := dxs[t*l.inDim : (t+1)*l.inDim]
+			for k, xv := range xt {
+				wrow := wx[k*h4 : (k+1)*h4]
+				dwrow := dwx[k*h4 : (k+1)*h4]
+				var acc float64
+				for j, dzj := range dz {
+					if xv != 0 {
+						dwrow[j] += xv * dzj
+					}
+					acc += wrow[j] * dzj
+				}
+				dxt[k] = acc
+			}
+			vecmath.AXPY(1, dz, db)
+			if t > 0 {
+				prev := recs[(s*l.steps+t-1)*lstmRec*h : (s*l.steps+t)*lstmRec*h]
+				// h_{t-1} = o_{t-1} * tanh(c_{t-1})
+				for k := 0; k < h; k++ {
+					hPrev := prev[3*h+k] * prev[5*h+k]
+					dwrow := dwh[k*h4 : (k+1)*h4]
+					wrow := wh[k*h4 : (k+1)*h4]
+					var acc float64
+					for j, dzj := range dz {
+						if hPrev != 0 {
+							dwrow[j] += hPrev * dzj
+						}
+						acc += wrow[j] * dzj
+					}
+					dhNext[k] = acc
+				}
+				copy(dh, dhNext)
+			}
+		}
+	}
+}

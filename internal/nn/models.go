@@ -1,0 +1,61 @@
+package nn
+
+// Model zoo matching Table IV of the paper, scaled to the synthetic
+// datasets in internal/dataset (see DESIGN.md §1 for the substitution
+// rationale). Input geometry is a parameter so the same constructors serve
+// both the scaled-down default experiments and larger configurations.
+
+// MLP builds the tabular model from the paper: three hidden layers of
+// widths 32, 16, and 8 with ReLU activations, used for the adult dataset.
+func MLP(inFeatures, classes int) *Network {
+	return NewBuilder(Vec(inFeatures)).
+		Dense(32).ReLU().
+		Dense(16).ReLU().
+		Dense(8).ReLU().
+		Dense(classes).
+		MustBuild()
+}
+
+// CNN builds the image model from the paper: two convolutional layers
+// followed by three fully connected layers with ReLU activations. The
+// paper uses 5×5 kernels on 28×28/32×32 inputs; on the 8×8 synthetic
+// images we keep two conv+pool stages with 3×3 kernels so the spatial
+// reduction pattern (two halvings) matches.
+func CNN(in Shape, classes int) *Network {
+	return NewBuilder(in).
+		Conv2D(6, 3, 1, 1).ReLU().MaxPool2D(2).
+		Conv2D(12, 3, 1, 1).ReLU().MaxPool2D(2).
+		Dense(48).ReLU().
+		Dense(24).ReLU().
+		Dense(classes).
+		MustBuild()
+}
+
+// ResNetLite builds the residual network standing in for ResNet-18: a
+// convolutional stem, `blocks` residual units at each of two widths with a
+// strided transition, global average pooling, and a linear classifier.
+func ResNetLite(in Shape, classes, blocks int) *Network {
+	b := NewBuilder(in).
+		Conv2D(8, 3, 1, 1).ReLU()
+	for i := 0; i < blocks; i++ {
+		b.Residual()
+	}
+	b.Conv2D(16, 3, 2, 1).ReLU()
+	for i := 0; i < blocks; i++ {
+		b.Residual()
+	}
+	return b.GlobalAvgPool().
+		Dense(64).ReLU().
+		Dense(classes).
+		MustBuild()
+}
+
+// CharLSTM builds the next-character model standing in for the paper's
+// Shakespeare LSTM: one-hot character sequences of length steps over a
+// vocab-sized alphabet, a single LSTM layer, and a linear decoder.
+func CharLSTM(steps, vocab, hidden int) *Network {
+	return NewBuilder(Vec(steps*vocab)).
+		LSTM(steps, vocab, hidden).
+		Dense(vocab).
+		MustBuild()
+}

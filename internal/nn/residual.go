@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// residualBlock is the basic ResNet unit adapted to this substrate:
+//
+//	out = ReLU( conv2(ReLU(conv1(x))) + x )
+//
+// with two channel-preserving 3×3 convolutions (stride 1, pad 1). Batch
+// normalization is omitted (see DESIGN.md); initialization is scaled down
+// so deep stacks stay trainable without it.
+type residualBlock struct {
+	in    Shape
+	conv1 *conv2d
+	conv2 *conv2d
+}
+
+// Residual appends a two-convolution residual block that preserves the
+// input shape.
+func (b *Builder) Residual() *Builder {
+	in := b.cur()
+	c1, err := newConv2D(in, in.C, 3, 1, 1)
+	if err != nil {
+		return b.add(nil, fmt.Errorf("nn: Residual: %w", err))
+	}
+	c2, err := newConv2D(in, in.C, 3, 1, 1)
+	if err != nil {
+		return b.add(nil, fmt.Errorf("nn: Residual: %w", err))
+	}
+	return b.add(&residualBlock{in: in, conv1: c1, conv2: c2}, nil)
+}
+
+func (l *residualBlock) name() string    { return "residual" }
+func (l *residualBlock) inShape() Shape  { return l.in }
+func (l *residualBlock) outShape() Shape { return l.in }
+func (l *residualBlock) paramCount() int { return l.conv1.paramCount() + l.conv2.paramCount() }
+
+func (l *residualBlock) initParams(params []float64, r *rng.RNG) {
+	p1 := l.conv1.paramCount()
+	l.conv1.initParams(params[:p1], r)
+	l.conv2.initParams(params[p1:], r)
+	// Down-scale the second convolution so each block starts close to the
+	// identity map, the usual trick for residual nets without normalization.
+	vecmath.Scale(0.3, params[p1:])
+}
+
+// scratch layout (5 regions of batch*size each):
+// h1 | a1 | dz | da1 | dxc
+func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) {
+	size := l.in.Size()
+	n := batch * size
+	buf := sc.floatBuf(5 * n)
+	h1, a1 := buf[:n], buf[n:2*n]
+	p1 := l.conv1.paramCount()
+	l.conv1.forward(params[:p1], x, h1, batch, nil)
+	for i := 0; i < n; i++ {
+		if h1[i] > 0 {
+			a1[i] = h1[i]
+		} else {
+			a1[i] = 0
+		}
+	}
+	l.conv2.forward(params[p1:], a1, y, batch, nil)
+	for i := 0; i < n; i++ {
+		v := y[i] + x[i]
+		if v > 0 {
+			y[i] = v
+		} else {
+			y[i] = 0
+		}
+	}
+}
+
+func (l *residualBlock) backward(params, x, y, dy, dx, dparams []float64, batch int, sc *scratch) {
+	size := l.in.Size()
+	n := batch * size
+	buf := sc.floatBuf(5 * n)
+	h1, a1 := buf[:n], buf[n:2*n]
+	dz, da1, dxc := buf[2*n:3*n], buf[3*n:4*n], buf[4*n:]
+	// Final ReLU: its pre-activation is positive exactly where y > 0.
+	for i := 0; i < n; i++ {
+		if y[i] > 0 {
+			dz[i] = dy[i]
+		} else {
+			dz[i] = 0
+		}
+	}
+	p1 := l.conv1.paramCount()
+	l.conv2.backward(params[p1:], a1, nil, dz, da1, dparams[p1:], batch, nil)
+	// Inner ReLU mask from h1.
+	for i := 0; i < n; i++ {
+		if h1[i] <= 0 {
+			da1[i] = 0
+		}
+	}
+	l.conv1.backward(params[:p1], x, nil, da1, dxc, dparams[:p1], batch, nil)
+	// Skip connection adds dz to the conv path's input gradient.
+	vecmath.Add(dx[:n], dxc[:n], dz[:n])
+}

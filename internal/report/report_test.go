@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Columns: []string{"Method", "Acc"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("FedAvg", "78.88%")
+	tbl.AddRow("TACO", "83.80%")
+	s := tbl.String()
+	for _, frag := range []string{"Demo", "Method", "FedAvg", "83.80%", "note: a note"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, s)
+		}
+	}
+	// Column alignment: header and rows share the same pipe positions.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	var widths []int
+	for _, line := range lines[1:4] {
+		if len(widths) == 0 {
+			widths = []int{len(line)}
+			continue
+		}
+		if len(line) != widths[0] {
+			t.Fatalf("misaligned table:\n%s", s)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		Title:  "Curve",
+		XLabel: "round",
+		YLabel: "acc",
+		Series: []Series{{Label: "TACO", X: []float64{1, 2}, Y: []float64{0.5, 0.6}}},
+		Notes:  []string{"shape"},
+	}
+	s := fig.String()
+	for _, frag := range []string{"Curve", `series "TACO"`, "0.6000", "note: shape"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("figure missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1}, 0, 1)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline length %d, want 3", len([]rune(s)))
+	}
+	if Sparkline(nil, 0, 1) != "" {
+		t.Fatal("empty sparkline must be empty")
+	}
+	// Degenerate range must not panic or divide by zero.
+	if s := Sparkline([]float64{1, 1}, 1, 1); len([]rune(s)) != 2 {
+		t.Fatal("degenerate range sparkline wrong length")
+	}
+	// Out-of-range values clamp.
+	s = Sparkline([]float64{-10, 10}, 0, 1)
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[1] != '█' {
+		t.Fatalf("clamping failed: %q", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.7888); got != "78.88%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Sec(1.2345); got != "1.234s" && got != "1.235s" {
+		t.Fatalf("Sec = %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlainProfile(t *testing.T) {
+	c := Plain()
+	if c.GradEvalsPerStep != 1 || c.AuxPerStep != 0 || c.AuxPerRound != 0 {
+		t.Fatalf("Plain() = %+v", c)
+	}
+}
+
+func TestRoundSecondsScalesLinearly(t *testing.T) {
+	c := Plain()
+	one := RoundSeconds(1_000_000, 1, c)
+	ten := RoundSeconds(1_000_000, 10, c)
+	if math.Abs(ten-10*one) > 1e-12 {
+		t.Fatalf("RoundSeconds not linear in steps: %v vs %v", ten, 10*one)
+	}
+	double := RoundSeconds(2_000_000, 1, c)
+	if math.Abs(double-2*one) > 1e-12 {
+		t.Fatalf("RoundSeconds not linear in flops: %v vs %v", double, 2*one)
+	}
+}
+
+func TestAuxPerRoundAddsOnce(t *testing.T) {
+	c := Costs{GradEvalsPerStep: 1, AuxPerRound: 2}
+	withAux := RoundSeconds(1_000_000, 5, c)
+	without := RoundSeconds(1_000_000, 5, Plain())
+	gradSec := 1_000_000.0 / EdgeDeviceFlopsPerSecond
+	if math.Abs(withAux-without-2*gradSec) > 1e-12 {
+		t.Fatalf("AuxPerRound contribution wrong: %v", withAux-without)
+	}
+}
+
+func TestPer100StepsMatchesPaperCalibration(t *testing.T) {
+	// The calibrated constants must land within a few points of the
+	// paper's Table I FMNIST overhead percentages.
+	base := Per100Steps(1_000_000, Plain())
+	overhead := func(aux float64) float64 {
+		c := Costs{GradEvalsPerStep: 1, AuxPerStep: aux}
+		return 100 * (Per100Steps(1_000_000, c) - base) / base
+	}
+	tests := []struct {
+		name string
+		aux  float64
+		want float64 // paper Table I, FMNIST
+	}{
+		{"FedProx", CostProxTerm, 23.52},
+		{"Scaffold", CostControlVariate, 7.73},
+		{"STEM", CostSTEMExtraGrad, 40.86},
+		{"FedACG", CostACGTerm, 24.15},
+	}
+	for _, tt := range tests {
+		if got := overhead(tt.aux); math.Abs(got-tt.want) > 3 {
+			t.Fatalf("%s modeled overhead %.2f%%, paper %.2f%%", tt.name, got, tt.want)
+		}
+	}
+	// TACO's overhead must stay small (Table III: +6.9%).
+	if got := overhead(CostTACOCorrection); got > 8 {
+		t.Fatalf("TACO modeled overhead %.2f%% too large", got)
+	}
+}
+
+func TestPer100StepsIgnoresPerRoundAux(t *testing.T) {
+	withRound := Costs{GradEvalsPerStep: 1, AuxPerRound: 100}
+	if Per100Steps(1_000_000, withRound) != Per100Steps(1_000_000, Plain()) {
+		t.Fatal("Per100Steps must exclude per-round costs (Table I times local updates only)")
+	}
+}

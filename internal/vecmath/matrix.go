@@ -1,0 +1,108 @@
+package vecmath
+
+import "fmt"
+
+// Row-major matrix kernels used by the neural-network substrate. A matrix
+// with r rows and c columns is stored as a []float64 of length r*c with
+// element (i, j) at index i*c+j. Keeping these loops here (rather than
+// inside internal/nn) lets the gradient-check tests exercise them in
+// isolation and keeps the layer code focused on calculus.
+
+func checkDims(op string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("vecmath: %s: backing slice has %d elements, want %d", op, got, want))
+	}
+}
+
+// MatMul computes C = A·B where A is m×k, B is k×n, and C is m×n.
+// C must not alias A or B.
+func MatMul(c, a, b []float64, m, k, n int) {
+	checkDims("MatMul A", len(a), m*k)
+	checkDims("MatMul B", len(b), k*n)
+	checkDims("MatMul C", len(c), m*n)
+	Zero(c)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p, ap := range arow {
+			if ap == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += ap * bv
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B where A is m×k (so Aᵀ is k×m), B is m×n,
+// and C is k×n. Used for weight gradients: dW = Xᵀ·dY.
+// C must not alias A or B.
+func MatMulATB(c, a, b []float64, m, k, n int) {
+	checkDims("MatMulATB A", len(a), m*k)
+	checkDims("MatMulATB B", len(b), m*n)
+	checkDims("MatMulATB C", len(c), k*n)
+	Zero(c)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		brow := b[i*n : (i+1)*n]
+		for p, ap := range arow {
+			if ap == 0 {
+				continue
+			}
+			crow := c[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += ap * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes C = A·Bᵀ where A is m×k, B is n×k (so Bᵀ is k×n),
+// and C is m×n. Used for input gradients: dX = dY·Wᵀ.
+// C must not alias A or B.
+func MatMulABT(c, a, b []float64, m, k, n int) {
+	checkDims("MatMulABT A", len(a), m*k)
+	checkDims("MatMulABT B", len(b), n*k)
+	checkDims("MatMulABT C", len(c), m*n)
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float64
+			for p, ap := range arow {
+				s += ap * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// AddRowVector adds the length-n vector v to each of the m rows of the
+// m×n matrix a in place. Used to apply biases to a batch.
+func AddRowVector(a, v []float64, m, n int) {
+	checkDims("AddRowVector A", len(a), m*n)
+	checkDims("AddRowVector v", len(v), n)
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j, vj := range v {
+			row[j] += vj
+		}
+	}
+}
+
+// SumRows accumulates the column sums of the m×n matrix a into the length-n
+// vector dst (dst[j] = Σ_i a[i][j]). Used for bias gradients.
+func SumRows(dst, a []float64, m, n int) {
+	checkDims("SumRows A", len(a), m*n)
+	checkDims("SumRows dst", len(dst), n)
+	Zero(dst)
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package vecmath
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// naiveMatMul is the reference implementation used to validate the kernels.
+func naiveMatMul(a, b []float64, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randMat(rng *rand.Rand, n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func matricesClose(t *testing.T, got, want []float64, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !almostEqual(got[i], want[i], 1e-10) {
+			t.Fatalf("%s: element %d: got %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.IntN(8), 1+rng.IntN(8), 1+rng.IntN(8)
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		c := make([]float64, m*n)
+		MatMul(c, a, b, m, k, n)
+		matricesClose(t, c, naiveMatMul(a, b, m, k, n), "MatMul")
+	}
+}
+
+func transpose(a []float64, r, c int) []float64 {
+	out := make([]float64, r*c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out[j*r+i] = a[i*c+j]
+		}
+	}
+	return out
+}
+
+func TestMatMulATBAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.IntN(8), 1+rng.IntN(8), 1+rng.IntN(8)
+		a := randMat(rng, m*k) // A is m×k, we compute Aᵀ·B (k×n)
+		b := randMat(rng, m*n)
+		c := make([]float64, k*n)
+		MatMulATB(c, a, b, m, k, n)
+		at := transpose(a, m, k) // k×m
+		matricesClose(t, c, naiveMatMul(at, b, k, m, n), "MatMulATB")
+	}
+}
+
+func TestMatMulABTAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+rng.IntN(8), 1+rng.IntN(8), 1+rng.IntN(8)
+		a := randMat(rng, m*k)
+		b := randMat(rng, n*k) // B is n×k, we compute A·Bᵀ (m×n)
+		c := make([]float64, m*n)
+		MatMulABT(c, a, b, m, k, n)
+		bt := transpose(b, n, k) // k×n
+		matricesClose(t, c, naiveMatMul(a, bt, m, k, n), "MatMulABT")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	// A·I = A.
+	n := 4
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	rng := rand.New(rand.NewPCG(9, 10))
+	a := randMat(rng, 3*n)
+	c := make([]float64, 3*n)
+	MatMul(c, a, id, 3, n, n)
+	matricesClose(t, c, a, "MatMul identity")
+}
+
+func TestAddRowVector(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	v := []float64{10, 20, 30}
+	AddRowVector(a, v, 2, 3)
+	want := []float64{11, 22, 33, 14, 25, 36}
+	matricesClose(t, a, want, "AddRowVector")
+}
+
+func TestSumRows(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	dst := make([]float64, 3)
+	SumRows(dst, a, 2, 3)
+	want := []float64{5, 7, 9}
+	matricesClose(t, dst, want, "SumRows")
+}
+
+func TestMatMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	MatMul(make([]float64, 4), make([]float64, 3), make([]float64, 4), 2, 2, 2)
+}

@@ -1,0 +1,265 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestZeroAndFill(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Zero(x)
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("Zero: x[%d] = %v, want 0", i, v)
+		}
+	}
+	Fill(x, 2.5)
+	for i, v := range x {
+		if v != 2.5 {
+			t.Fatalf("Fill: x[%d] = %v, want 2.5", i, v)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone must not share backing array")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	dst := make([]float64, 3)
+	Add(dst, a, b)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Add: dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	Sub(dst, b, a)
+	want = []float64{3, 3, 3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Sub: dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := []float64{1, 2, 3}
+	Add(a, a, a) // a = a + a
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("aliased Add: a[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	AXPY(2, x, y)
+	want := []float64{12, 24, 36}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY: y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	x := []float64{1, -2, 3}
+	Scale(-2, x)
+	want := []float64{-2, 4, -6}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("Scale: x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestScaleTo(t *testing.T) {
+	x := []float64{1, 2}
+	dst := make([]float64, 2)
+	ScaleTo(dst, 3, x)
+	if dst[0] != 3 || dst[1] != 6 {
+		t.Fatalf("ScaleTo: got %v", dst)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	a := []float64{3, 4}
+	if got := Dot(a, a); got != 25 {
+		t.Fatalf("Dot = %v, want 25", got)
+	}
+	if got := Norm2(a); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm1(a); got != 7 {
+		t.Fatalf("Norm1 = %v, want 7", got)
+	}
+}
+
+func TestMaxAbsSumMean(t *testing.T) {
+	x := []float64{-3, 1, 2}
+	if got := MaxAbs(x); got != 3 {
+		t.Fatalf("MaxAbs = %v, want 3", got)
+	}
+	if got := Sum(x); got != 0 {
+		t.Fatalf("Sum = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Fatalf("Mean = %v, want 3", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		want float64
+	}{
+		{name: "identical", a: []float64{1, 2}, b: []float64{1, 2}, want: 1},
+		{name: "opposite", a: []float64{1, 0}, b: []float64{-1, 0}, want: -1},
+		{name: "orthogonal", a: []float64{1, 0}, b: []float64{0, 1}, want: 0},
+		{name: "zero vector", a: []float64{0, 0}, b: []float64{1, 1}, want: 0},
+		{name: "both zero", a: []float64{0, 0}, b: []float64{0, 0}, want: 0},
+		{name: "scaled copy", a: []float64{1, 2, 3}, b: []float64{2, 4, 6}, want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := CosineSimilarity(tt.a, tt.b)
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Fatalf("CosineSimilarity = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCosineSimilarityBounded(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := min(len(a), len(b))
+		c := CosineSimilarity(a[:n], b[:n])
+		return c >= -1-1e-9 && c <= 1+1e-9 && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	vecs := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	w := []float64{2, 3, 0}
+	dst := make([]float64, 2)
+	WeightedSum(dst, w, vecs)
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("WeightedSum = %v, want [2 3]", dst)
+	}
+}
+
+func TestL2DistanceSquared(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{4, 6}
+	if got := L2DistanceSquared(a, b); got != 25 {
+		t.Fatalf("L2DistanceSquared = %v, want 25", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		v, lo, hi, want float64
+	}{
+		{5, 0, 1, 1},
+		{-5, 0, 1, 0},
+		{0.5, 0, 1, 0.5},
+	}
+	for _, tt := range tests {
+		if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+			t.Fatalf("Clamp(%v,%v,%v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+		}
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, 2, 3}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+	if !AllFinite(nil) {
+		t.Fatal("empty vector must be finite")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestDotProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			c[i] = rng.NormFloat64()
+		}
+		if !almostEqual(Dot(a, b), Dot(b, a), 1e-12) {
+			t.Fatal("Dot not symmetric")
+		}
+		sum := make([]float64, n)
+		Add(sum, a, c)
+		if !almostEqual(Dot(sum, b), Dot(a, b)+Dot(c, b), 1e-9) {
+			t.Fatal("Dot not additive")
+		}
+	}
+}
+
+// Property: triangle inequality for Norm2.
+func TestNormTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		sum := make([]float64, n)
+		Add(sum, a, b)
+		if Norm2(sum) > Norm2(a)+Norm2(b)+1e-9 {
+			t.Fatal("triangle inequality violated")
+		}
+	}
+}

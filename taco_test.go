@@ -1,0 +1,91 @@
+package taco_test
+
+import (
+	"testing"
+
+	taco "repro"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as README's
+// quickstart does.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	train, test, err := taco.Dataset("adult", taco.ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := taco.ModelFor("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := taco.PartitionDirichlet(train, 8, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := taco.Train(taco.TrainConfig{
+		Rounds:     6,
+		LocalSteps: 5,
+		BatchSize:  16,
+		LocalLR:    0.03,
+		Seed:       3,
+	}, taco.NewTACO(), model, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.FinalAccuracy() < 0.55 {
+		t.Fatalf("quickstart accuracy %.4f too low", res.Run.FinalAccuracy())
+	}
+}
+
+func TestAllConstructorsProduceDistinctNames(t *testing.T) {
+	algs := []taco.Algorithm{
+		taco.NewFedAvg(), taco.NewFedProx(), taco.NewFoolsGold(),
+		taco.NewScaffold(), taco.NewSTEM(), taco.NewFedACG(),
+		taco.NewTACO(), taco.NewFedProxTACO(), taco.NewScaffoldTACO(),
+	}
+	seen := make(map[string]bool, len(algs))
+	for _, a := range algs {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate algorithm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	train, _, err := taco.Dataset("mnist", taco.ScaleSmall, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func() ([]*taco.Data, error){
+		"iid":    func() ([]*taco.Data, error) { return taco.PartitionIID(train, 10, 3) },
+		"dir":    func() ([]*taco.Data, error) { return taco.PartitionDirichlet(train, 10, 0.3, 3) },
+		"groups": func() ([]*taco.Data, error) { return taco.PartitionGroups(train, 10, 3) },
+	} {
+		shards, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(shards) != 10 {
+			t.Fatalf("%s: %d shards, want 10", name, len(shards))
+		}
+		total := 0
+		for _, s := range shards {
+			total += s.Len()
+		}
+		if total != train.Len() {
+			t.Fatalf("%s: shards cover %d of %d samples", name, total, train.Len())
+		}
+	}
+}
+
+func TestDatasetNames(t *testing.T) {
+	names := taco.DatasetNames()
+	if len(names) != 8 {
+		t.Fatalf("expected the paper's 8 datasets, got %d", len(names))
+	}
+	for _, name := range names {
+		if _, err := taco.ModelFor(name); err != nil {
+			t.Fatalf("no model for %q: %v", name, err)
+		}
+	}
+}
