@@ -45,25 +45,17 @@ func (l *dense) forward(params, x, y []float64, batch int, _ *scratch) {
 	in := l.in.Size()
 	w := params[:in*l.out]
 	bias := params[in*l.out:]
-	vecmath.MatMul(y[:batch*l.out], x[:batch*in], w, batch, in, l.out)
+	vecmath.Gemm(y[:batch*l.out], x[:batch*in], w, batch, in, l.out, false)
 	vecmath.AddRowVector(y[:batch*l.out], bias, batch, l.out)
 }
 
-func (l *dense) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
+func (l *dense) backward(params, x, _, dy, dx, dparams []float64, batch int, _ *scratch) {
 	in := l.in.Size()
 	w := params[:in*l.out]
-	dw := sc.floatBuf(in * l.out)
-	// dW = xᵀ·dy, accumulated into dparams.
-	vecmath.MatMulATB(dw, x[:batch*in], dy[:batch*l.out], batch, in, l.out)
-	vecmath.AXPY(1, dw, dparams[:in*l.out])
-	// db = column sums of dy.
-	db := dparams[in*l.out:]
-	for i := 0; i < batch; i++ {
-		row := dy[i*l.out : (i+1)*l.out]
-		for j, v := range row {
-			db[j] += v
-		}
-	}
+	// dW += xᵀ·dy, folded straight into the gradient vector.
+	vecmath.GemmATB(dparams[:in*l.out], x[:batch*in], dy[:batch*l.out], batch, in, l.out, true)
+	// db += column sums of dy.
+	vecmath.SumRowsAcc(dparams[in*l.out:], dy[:batch*l.out], batch, l.out)
 	// dx = dy·Wᵀ.
-	vecmath.MatMulABT(dx[:batch*in], dy[:batch*l.out], w, batch, l.out, in)
+	vecmath.GemmABT(dx[:batch*in], dy[:batch*l.out], w, batch, l.out, in, false)
 }

@@ -2,6 +2,8 @@ package nn
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/vecmath"
 )
@@ -16,6 +18,7 @@ type Engine struct {
 	acts     [][]float64 // acts[i] is the output buffer of layer i-1 (acts[0] unused; input comes from caller)
 	dacts    [][]float64 // gradient buffers per boundary, same layout
 	scratch  []scratch
+	evalPool []*Engine // lazily grown worker engines for parallel Accuracy
 }
 
 // NewEngine creates an execution engine supporting batches up to maxBatch.
@@ -32,10 +35,21 @@ func NewEngine(net *Network, maxBatch int) *Engine {
 	}
 	for i, l := range net.layers {
 		e.acts[i+1] = make([]float64, maxBatch*l.outShape().Size())
-		e.dacts[i+1] = make([]float64, maxBatch*l.outShape().Size())
 	}
-	e.dacts[0] = make([]float64, maxBatch*net.in.Size())
 	return e
+}
+
+// ensureGradBuffers allocates the backward-pass activation-gradient
+// buffers on first use, so inference-only engines (prediction, the
+// Accuracy worker pool) stay at half the footprint.
+func (e *Engine) ensureGradBuffers() {
+	if e.dacts[0] != nil {
+		return
+	}
+	e.dacts[0] = make([]float64, e.maxBatch*e.net.in.Size())
+	for i, l := range e.net.layers {
+		e.dacts[i+1] = make([]float64, e.maxBatch*l.outShape().Size())
+	}
 }
 
 // Net returns the architecture this engine executes.
@@ -70,6 +84,7 @@ func (e *Engine) Gradient(params, x []float64, labels []int, grad []float64) flo
 	if len(grad) != e.net.total {
 		panic(fmt.Sprintf("nn: grad has %d elements, want %d", len(grad), e.net.total))
 	}
+	e.ensureGradBuffers()
 	logits := e.forwardPass(params, x, batch)
 	nl := len(e.net.layers)
 	loss := SoftmaxCrossEntropy(logits[:batch*e.net.classes], labels, e.net.classes, e.dacts[nl])
@@ -106,16 +121,54 @@ func (e *Engine) Predict(params, x []float64, batch int, out []int) {
 }
 
 // Accuracy evaluates classification accuracy over a full dataset given as
-// flattened features xs and labels, batching internally.
+// flattened features xs and labels, batching internally. Batches are
+// sharded across a bounded worker pool (at most GOMAXPROCS workers, each
+// with its own Engine, reused across calls); because every worker counts
+// correct predictions as an integer and the shards partition the dataset,
+// the result is identical to a sequential pass regardless of scheduling.
 func (e *Engine) Accuracy(params, xs []float64, labels []int) float64 {
+	return e.accuracyWorkers(params, xs, labels, runtime.GOMAXPROCS(0))
+}
+
+func (e *Engine) accuracyWorkers(params, xs []float64, labels []int, maxWorkers int) float64 {
 	n := len(labels)
 	if n == 0 {
 		return 0
 	}
+	numBatches := (n + e.maxBatch - 1) / e.maxBatch
+	workers := min(maxWorkers, numBatches)
+	if workers <= 1 {
+		return float64(e.countCorrect(params, xs, labels, 0, 1)) / float64(n)
+	}
+	for len(e.evalPool) < workers-1 {
+		e.evalPool = append(e.evalPool, NewEngine(e.net, e.maxBatch))
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			counts[w] = e.evalPool[w-1].countCorrect(params, xs, labels, w, workers)
+		}(w)
+	}
+	counts[0] = e.countCorrect(params, xs, labels, 0, workers)
+	wg.Wait()
+	correct := 0
+	for _, c := range counts {
+		correct += c
+	}
+	return float64(correct) / float64(n)
+}
+
+// countCorrect evaluates every stride-th batch starting at batch index
+// first and returns how many predictions match the labels.
+func (e *Engine) countCorrect(params, xs []float64, labels []int, first, stride int) int {
+	n := len(labels)
 	inSize := e.net.in.Size()
 	preds := make([]int, e.maxBatch)
 	correct := 0
-	for start := 0; start < n; start += e.maxBatch {
+	for start := first * e.maxBatch; start < n; start += stride * e.maxBatch {
 		end := min(start+e.maxBatch, n)
 		b := end - start
 		e.Predict(params, xs[start*inSize:end*inSize], b, preds)
@@ -125,5 +178,5 @@ func (e *Engine) Accuracy(params, xs []float64, labels []int) float64 {
 			}
 		}
 	}
-	return float64(correct) / float64(n)
+	return correct
 }

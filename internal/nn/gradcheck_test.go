@@ -80,6 +80,44 @@ func TestGradConv2DNoPad(t *testing.T) {
 	checkNet(t, net, 2, 6)
 }
 
+func TestGradConv2DStridePad(t *testing.T) {
+	// Stride > 1 combined with pad > 0 exercises every valid-range edge of
+	// the im2col packing at once.
+	net := NewBuilder(Shape{C: 2, H: 7, W: 7}).
+		Conv2D(3, 3, 2, 2).ReLU().
+		Dense(4).
+		MustBuild()
+	checkNet(t, net, 2, 21)
+}
+
+func TestGradConv2DRect(t *testing.T) {
+	// Rectangular (H≠W) input: catches any H/W transposition in the
+	// im2col/col2im index arithmetic.
+	net := NewBuilder(Shape{C: 2, H: 5, W: 7}).
+		Conv2D(3, 3, 1, 1).ReLU().
+		Dense(4).
+		MustBuild()
+	checkNet(t, net, 2, 22)
+}
+
+func TestGradConv2DRectStridePad(t *testing.T) {
+	net := NewBuilder(Shape{C: 2, H: 8, W: 5}).
+		Conv2D(3, 3, 2, 1).ReLU().
+		Dense(4).
+		MustBuild()
+	checkNet(t, net, 2, 23)
+}
+
+func TestGradConv2DWideKernelPad(t *testing.T) {
+	// Kernel wider than stride with asymmetrically clipped valid ranges
+	// (k=5 on a 6×6 input with pad 2).
+	net := NewBuilder(Shape{C: 1, H: 6, W: 6}).
+		Conv2D(2, 5, 2, 2).
+		Dense(3).
+		MustBuild()
+	checkNet(t, net, 2, 24)
+}
+
 func TestGradMaxPool(t *testing.T) {
 	net := NewBuilder(Shape{C: 2, H: 4, W: 4}).
 		Conv2D(2, 3, 1, 1).

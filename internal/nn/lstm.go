@@ -20,6 +20,12 @@ func tanhFast(x float64) float64 { return math.Tanh(x) }
 //
 // Parameter layout: Wx[inDim×4H] | Wh[H×4H] | b[4H], with gate order
 // input, forget, cell (g), output.
+//
+// Execution is step-major: at every timestep the whole mini-batch's gate
+// pre-activations are one batch×4H GEMM against Wx plus one against Wh
+// (and the transposed products on the way back), so the recurrence runs on
+// the same register-tiled vecmath kernels as the dense and conv layers
+// instead of per-sample vector loops.
 type lstm struct {
 	in     Shape
 	steps  int
@@ -64,83 +70,93 @@ func (l *lstm) initParams(params []float64, r *rng.RNG) {
 	}
 }
 
-// Per-sample, per-step scratch record: i | f | g | o | c | tc (=tanh c) —
-// 6H floats. h_t is not stored separately: h_t = o*tc is recomputed from
-// the record when needed.
+// Per-step scratch record, batch-major so every timestep is GEMM-ready:
+// gates (batch×4H, activated in place) | c (batch×H) | tc (batch×H) —
+// 6H floats per sample per step. h_t is not stored separately:
+// h_t = o*tc is recomputed from the record when needed.
 const lstmRec = 6
 
+// scratch layout (offsets within one floatBuf, B = batch):
+//
+//	recs  S·B·6H   per-step records, persist from forward into backward
+//	xbuf  B·D      current timestep's inputs, gathered batch-major
+//	hbuf  B·H      forward: running h_t; backward: recomputed h_{t-1}
+//	dh    B·H      backward only
+//	dc    B·H      backward only
+//	dz    B·4H     backward only
+//	dxt   B·D      backward only
 func (l *lstm) scratchSize(batch int) int {
-	perStep := lstmRec * l.hidden
-	// Sequence records + backward temporaries (dh, dc, dcNext, dz, hPrev).
-	return batch*l.steps*perStep + 3*l.hidden + 4*l.hidden + l.hidden
+	h := l.hidden
+	return batch * (l.steps*lstmRec*h + 2*l.inDim + 7*h)
+}
+
+// recBlocks slices the records of step t into the gate matrix (batch×4H)
+// and the cell/tanh-cell matrices (batch×H each).
+func recBlocks(recs []float64, t, batch, h int) (gates, c, tc []float64) {
+	base := t * batch * lstmRec * h
+	gates = recs[base : base+batch*4*h]
+	c = recs[base+batch*4*h : base+batch*5*h]
+	tc = recs[base+batch*5*h : base+batch*6*h]
+	return
 }
 
 func (l *lstm) forward(params, x, y []float64, batch int, sc *scratch) {
 	h := l.hidden
 	h4 := 4 * h
-	wx := params[:l.inDim*h4]
-	wh := params[l.inDim*h4 : l.inDim*h4+h*h4]
-	bias := params[l.inDim*h4+h*h4:]
+	d := l.inDim
+	wx := params[:d*h4]
+	wh := params[d*h4 : d*h4+h*h4]
+	bias := params[d*h4+h*h4:]
+
 	buf := sc.floatBuf(l.scratchSize(batch))
 	recs := buf[:batch*l.steps*lstmRec*h]
-	z := buf[len(buf)-h4-h : len(buf)-h] // gate pre-activations, reused
-	hPrev := buf[len(buf)-h:]
+	xbuf := buf[len(recs) : len(recs)+batch*d]
+	hbuf := buf[len(recs)+batch*d : len(recs)+batch*d+batch*h]
 
 	inSize := l.in.Size()
-	for s := 0; s < batch; s++ {
-		xs := x[s*inSize : (s+1)*inSize]
-		vecmath.Zero(hPrev)
-		var cPrevRec []float64 // c_{t-1} slice inside recs, nil at t=0
-		for t := 0; t < l.steps; t++ {
-			rec := recs[(s*l.steps+t)*lstmRec*h : (s*l.steps+t+1)*lstmRec*h]
-			gi, gf, gg, go_ := rec[:h], rec[h:2*h], rec[2*h:3*h], rec[3*h:4*h]
-			c, tc := rec[4*h:5*h], rec[5*h:]
-			xt := xs[t*l.inDim : (t+1)*l.inDim]
-			// z = Wxᵀ x_t + Whᵀ h_{t-1} + b
-			copy(z, bias)
-			for k, xv := range xt {
-				if xv == 0 {
-					continue
-				}
-				row := wx[k*h4 : (k+1)*h4]
-				for j, wv := range row {
-					z[j] += xv * wv
-				}
-			}
-			for k, hv := range hPrev {
-				if hv == 0 {
-					continue
-				}
-				row := wh[k*h4 : (k+1)*h4]
-				for j, wv := range row {
-					z[j] += hv * wv
-				}
-			}
-			for j := 0; j < h; j++ {
-				gi[j] = sigmoid(z[j])
-				gf[j] = sigmoid(z[h+j])
-				gg[j] = tanhFast(z[2*h+j])
-				go_[j] = sigmoid(z[3*h+j])
-			}
-			for j := 0; j < h; j++ {
-				cp := 0.0
-				if cPrevRec != nil {
-					cp = cPrevRec[4*h+j]
-				}
-				c[j] = gf[j]*cp + gi[j]*gg[j]
-				tc[j] = tanhFast(c[j])
-				hPrev[j] = go_[j] * tc[j]
-			}
-			cPrevRec = rec
+	var cPrev []float64 // previous step's batch×H cell block, nil at t=0
+	for t := 0; t < l.steps; t++ {
+		gates, c, tc := recBlocks(recs, t, batch, h)
+		// Gather x_t batch-major and compute all gate pre-activations:
+		// Z = X_t·Wx + H_{t-1}·Wh + b, one GEMM per operand.
+		for s := 0; s < batch; s++ {
+			copy(xbuf[s*d:(s+1)*d], x[s*inSize+t*d:s*inSize+(t+1)*d])
 		}
-		copy(y[s*h:(s+1)*h], hPrev)
+		vecmath.Gemm(gates, xbuf, wx, batch, d, h4, false)
+		if t > 0 {
+			vecmath.Gemm(gates, hbuf, wh, batch, h, h4, true)
+		}
+		vecmath.AddRowVector(gates, bias, batch, h4)
+		for s := 0; s < batch; s++ {
+			g := gates[s*h4 : (s+1)*h4]
+			cs := c[s*h : (s+1)*h]
+			tcs := tc[s*h : (s+1)*h]
+			hs := hbuf[s*h : (s+1)*h]
+			for j := 0; j < h; j++ {
+				gi := sigmoid(g[j])
+				gf := sigmoid(g[h+j])
+				gg := tanhFast(g[2*h+j])
+				go_ := sigmoid(g[3*h+j])
+				g[j], g[h+j], g[2*h+j], g[3*h+j] = gi, gf, gg, go_
+				cp := 0.0
+				if cPrev != nil {
+					cp = cPrev[s*h+j]
+				}
+				cs[j] = gf*cp + gi*gg
+				tcs[j] = tanhFast(cs[j])
+				hs[j] = go_ * tcs[j]
+			}
+		}
+		cPrev = c
 	}
+	copy(y[:batch*h], hbuf)
 }
 
 func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
 	h := l.hidden
 	h4 := 4 * h
-	nwx := l.inDim * h4
+	d := l.inDim
+	nwx := d * h4
 	nwh := h * h4
 	wx := params[:nwx]
 	wh := params[nwx : nwx+nwh]
@@ -150,76 +166,72 @@ func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *
 
 	buf := sc.floatBuf(l.scratchSize(batch))
 	recs := buf[:batch*l.steps*lstmRec*h]
-	tmp := buf[batch*l.steps*lstmRec*h:]
-	dh, dc, dhNext := tmp[:h], tmp[h:2*h], tmp[2*h:3*h]
-	dz := tmp[3*h : 3*h+h4]
+	off := len(recs)
+	xbuf := buf[off : off+batch*d]
+	off += batch * d
+	hbuf := buf[off : off+batch*h]
+	off += batch * h
+	dh := buf[off : off+batch*h]
+	off += batch * h
+	dc := buf[off : off+batch*h]
+	off += batch * h
+	dz := buf[off : off+batch*h4]
+	off += batch * h4
+	dxt := buf[off : off+batch*d]
 
 	inSize := l.in.Size()
-	vecmath.Zero(dx[:batch*inSize])
-	for s := 0; s < batch; s++ {
-		xs := x[s*inSize : (s+1)*inSize]
-		dxs := dx[s*inSize : (s+1)*inSize]
-		copy(dh, dy[s*h:(s+1)*h])
-		vecmath.Zero(dc)
-		for t := l.steps - 1; t >= 0; t-- {
-			rec := recs[(s*l.steps+t)*lstmRec*h : (s*l.steps+t+1)*lstmRec*h]
-			gi, gf, gg, go_ := rec[:h], rec[h:2*h], rec[2*h:3*h], rec[3*h:4*h]
-			tc := rec[5*h:]
-			var cPrev []float64
-			if t > 0 {
-				prev := recs[(s*l.steps+t-1)*lstmRec*h : (s*l.steps+t)*lstmRec*h]
-				cPrev = prev[4*h : 5*h]
-			}
+	copy(dh, dy[:batch*h])
+	vecmath.Zero(dc)
+	for t := l.steps - 1; t >= 0; t-- {
+		gates, _, tc := recBlocks(recs, t, batch, h)
+		var prevGates, prevC, prevTc []float64
+		if t > 0 {
+			prevGates, prevC, prevTc = recBlocks(recs, t-1, batch, h)
+		}
+		// Elementwise pass: gate gradients dz and the running dc.
+		for s := 0; s < batch; s++ {
+			g := gates[s*h4 : (s+1)*h4]
+			dzs := dz[s*h4 : (s+1)*h4]
 			for j := 0; j < h; j++ {
-				do := dh[j] * tc[j]
-				dcj := dc[j] + dh[j]*go_[j]*(1-tc[j]*tc[j])
+				gi, gf, gg, go_ := g[j], g[h+j], g[2*h+j], g[3*h+j]
+				tcj := tc[s*h+j]
+				dhj := dh[s*h+j]
+				do := dhj * tcj
+				dcj := dc[s*h+j] + dhj*go_*(1-tcj*tcj)
 				cp := 0.0
-				if cPrev != nil {
-					cp = cPrev[j]
+				if prevC != nil {
+					cp = prevC[s*h+j]
 				}
-				di := dcj * gg[j]
+				di := dcj * gg
 				df := dcj * cp
-				dg := dcj * gi[j]
-				dc[j] = dcj * gf[j] // becomes dc_{t-1}
-				dz[j] = di * gi[j] * (1 - gi[j])
-				dz[h+j] = df * gf[j] * (1 - gf[j])
-				dz[2*h+j] = dg * (1 - gg[j]*gg[j])
-				dz[3*h+j] = do * go_[j] * (1 - go_[j])
+				dg := dcj * gi
+				dc[s*h+j] = dcj * gf // becomes dc_{t-1}
+				dzs[j] = di * gi * (1 - gi)
+				dzs[h+j] = df * gf * (1 - gf)
+				dzs[2*h+j] = dg * (1 - gg*gg)
+				dzs[3*h+j] = do * go_ * (1 - go_)
 			}
-			// Parameter gradients and upstream gradients.
-			xt := xs[t*l.inDim : (t+1)*l.inDim]
-			dxt := dxs[t*l.inDim : (t+1)*l.inDim]
-			for k, xv := range xt {
-				wrow := wx[k*h4 : (k+1)*h4]
-				dwrow := dwx[k*h4 : (k+1)*h4]
-				var acc float64
-				for j, dzj := range dz {
-					if xv != 0 {
-						dwrow[j] += xv * dzj
-					}
-					acc += wrow[j] * dzj
+		}
+		vecmath.SumRowsAcc(db, dz, batch, h4)
+		// dWx += X_tᵀ·dZ and dX_t = dZ·Wxᵀ.
+		for s := 0; s < batch; s++ {
+			copy(xbuf[s*d:(s+1)*d], x[s*inSize+t*d:s*inSize+(t+1)*d])
+		}
+		vecmath.GemmATB(dwx, xbuf, dz, batch, d, h4, true)
+		vecmath.GemmABT(dxt, dz, wx, batch, h4, d, false)
+		for s := 0; s < batch; s++ {
+			copy(dx[s*inSize+t*d:s*inSize+(t+1)*d], dxt[s*d:(s+1)*d])
+		}
+		if t > 0 {
+			// Recompute H_{t-1} = o_{t-1}*tanh(c_{t-1}) batch-major, then
+			// dWh += H_{t-1}ᵀ·dZ and dh_{t-1} = dZ·Whᵀ.
+			for s := 0; s < batch; s++ {
+				for j := 0; j < h; j++ {
+					hbuf[s*h+j] = prevGates[s*h4+3*h+j] * prevTc[s*h+j]
 				}
-				dxt[k] = acc
 			}
-			vecmath.AXPY(1, dz, db)
-			if t > 0 {
-				prev := recs[(s*l.steps+t-1)*lstmRec*h : (s*l.steps+t)*lstmRec*h]
-				// h_{t-1} = o_{t-1} * tanh(c_{t-1})
-				for k := 0; k < h; k++ {
-					hPrev := prev[3*h+k] * prev[5*h+k]
-					dwrow := dwh[k*h4 : (k+1)*h4]
-					wrow := wh[k*h4 : (k+1)*h4]
-					var acc float64
-					for j, dzj := range dz {
-						if hPrev != 0 {
-							dwrow[j] += hPrev * dzj
-						}
-						acc += wrow[j] * dzj
-					}
-					dhNext[k] = acc
-				}
-				copy(dh, dhNext)
-			}
+			vecmath.GemmATB(dwh, hbuf, dz, batch, h, h4, true)
+			vecmath.GemmABT(dh, dz, wh, batch, h4, h, false)
 		}
 	}
 }

@@ -38,9 +38,15 @@ func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
 
 // scratch holds per-layer working memory owned by an Engine. Layers size
 // the fields they need on first use; buffers are reused across steps.
+// Buffers persist between a forward call and the backward call that
+// follows it (the layer contract guarantees the pairing), so layers may
+// stash forward-pass state — im2col packings, LSTM gate records — instead
+// of recomputing it.
 type scratch struct {
-	ints   []int
-	floats []float64
+	ints     []int
+	floats   []float64
+	cols     []float64  // im2col packing, kept separate so it survives floatBuf use
+	children []*scratch // sub-layer scratches for composite layers (residual)
 }
 
 func (s *scratch) intBuf(n int) []int {
@@ -55,6 +61,23 @@ func (s *scratch) floatBuf(n int) []float64 {
 		s.floats = make([]float64, n)
 	}
 	return s.floats[:n]
+}
+
+func (s *scratch) colBuf(n int) []float64 {
+	if cap(s.cols) < n {
+		s.cols = make([]float64, n)
+	}
+	return s.cols[:n]
+}
+
+// child returns the i-th sub-scratch, allocating up to it on first use.
+// Composite layers hand one to each inner layer so their buffers never
+// collide with the parent's.
+func (s *scratch) child(i int) *scratch {
+	for len(s.children) <= i {
+		s.children = append(s.children, &scratch{})
+	}
+	return s.children[i]
 }
 
 // layer is the internal building-block contract. Concrete layers are

@@ -51,13 +51,15 @@ func (l *residualBlock) initParams(params []float64, r *rng.RNG) {
 
 // scratch layout (5 regions of batch*size each):
 // h1 | a1 | dz | da1 | dxc
+// The two inner convolutions get child scratches so their im2col packings
+// survive from forward to backward alongside this block's own buffer.
 func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) {
 	size := l.in.Size()
 	n := batch * size
 	buf := sc.floatBuf(5 * n)
 	h1, a1 := buf[:n], buf[n:2*n]
 	p1 := l.conv1.paramCount()
-	l.conv1.forward(params[:p1], x, h1, batch, nil)
+	l.conv1.forward(params[:p1], x, h1, batch, sc.child(0))
 	for i := 0; i < n; i++ {
 		if h1[i] > 0 {
 			a1[i] = h1[i]
@@ -65,7 +67,7 @@ func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) 
 			a1[i] = 0
 		}
 	}
-	l.conv2.forward(params[p1:], a1, y, batch, nil)
+	l.conv2.forward(params[p1:], a1, y, batch, sc.child(1))
 	for i := 0; i < n; i++ {
 		v := y[i] + x[i]
 		if v > 0 {
@@ -91,14 +93,14 @@ func (l *residualBlock) backward(params, x, y, dy, dx, dparams []float64, batch 
 		}
 	}
 	p1 := l.conv1.paramCount()
-	l.conv2.backward(params[p1:], a1, nil, dz, da1, dparams[p1:], batch, nil)
+	l.conv2.backward(params[p1:], a1, nil, dz, da1, dparams[p1:], batch, sc.child(1))
 	// Inner ReLU mask from h1.
 	for i := 0; i < n; i++ {
 		if h1[i] <= 0 {
 			da1[i] = 0
 		}
 	}
-	l.conv1.backward(params[:p1], x, nil, da1, dxc, dparams[:p1], batch, nil)
+	l.conv1.backward(params[:p1], x, nil, da1, dxc, dparams[:p1], batch, sc.child(0))
 	// Skip connection adds dz to the conv path's input gradient.
 	vecmath.Add(dx[:n], dxc[:n], dz[:n])
 }

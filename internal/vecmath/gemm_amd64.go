@@ -1,0 +1,45 @@
+//go:build amd64
+
+package vecmath
+
+// useAVX gates the AVX2+FMA assembly microkernels in gemm_amd64.s. It is
+// resolved once at init from CPUID, so the dispatch in Gemm/GemmATB/
+// GemmABT is a predictable branch. The pure-Go register-tiled paths remain
+// as the fallback for CPUs without AVX2/FMA (and for tile remainders).
+var useAVX = cpuSupportsAVX2FMA()
+
+// cpuSupportsAVX2FMA reports whether the CPU supports AVX2 and FMA3 and
+// the OS has enabled YMM state (CPUID leaves 1 and 7 plus XGETBV).
+func cpuSupportsAVX2FMA() bool
+
+// gemmKernel4x8 accumulates a 4×8 tile of C += A·B: the four A-row
+// pointers advance one element per step, b advances by ldb elements
+// (one B row), and after k steps the tile is added into C (row stride
+// ldc). All pointers must have k (a), 8+ (b, c) elements available.
+//
+//go:noescape
+func gemmKernel4x8(a0, a1, a2, a3, b *float64, ldb int, c *float64, ldc, k int)
+
+// gemmKernel1x8 is the single-row variant of gemmKernel4x8 for m%4 rows.
+//
+//go:noescape
+func gemmKernel1x8(a, b *float64, ldb int, c *float64, k int)
+
+// atbKernel4x8 accumulates a 4×8 tile of C += Aᵀ·B: a points at the four
+// consecutive elements A[i][p..p+3] and advances by lda per step (one A
+// row), b advances by ldb. After m steps the tile is added into C.
+//
+//go:noescape
+func atbKernel4x8(a *float64, lda int, b *float64, ldb int, c *float64, ldc, m int)
+
+// atbKernel1x8 is the single-row variant of atbKernel4x8 for k%4 rows.
+//
+//go:noescape
+func atbKernel1x8(a *float64, lda int, b *float64, ldb int, c *float64, m int)
+
+// abtKernel2x4 computes the eight dot products of two A rows with four B
+// rows over k elements (k must be a positive multiple of 4), writing
+// {a0·b0, a0·b1, a0·b2, a0·b3, a1·b0, a1·b1, a1·b2, a1·b3} into out.
+//
+//go:noescape
+func abtKernel2x4(a0, a1, b0, b1, b2, b3 *float64, k int, out *[8]float64)

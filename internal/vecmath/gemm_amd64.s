@@ -1,0 +1,320 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA microkernels for the GEMM entry points in matrix.go. All
+// kernels are leaf functions that keep their accumulator tiles in YMM
+// registers and touch C exactly once, so the inner loops are pure
+// load+FMA streams. Remainder rows/columns and short reductions are
+// handled by the pure-Go fallback paths, which keeps the assembly small.
+
+// func cpuSupportsAVX2FMA() bool
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	// Highest function parameter must reach leaf 7.
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JLT  unsupported
+
+	// Leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $402657280, R8  // 1<<12 | 1<<27 | 1<<28
+	CMPL R8, $402657280
+	JNE  unsupported
+
+	// XCR0 bits 1 and 2: XMM and YMM state enabled by the OS.
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  unsupported
+
+	// Leaf 7 subleaf 0 EBX: AVX2 (bit 5).
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $32, BX
+	JZ   unsupported
+
+	MOVB $1, ret+0(FP)
+	RET
+
+unsupported:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmKernel4x8(a0, a1, a2, a3, b *float64, ldb int, c *float64, ldc, k int)
+TEXT ·gemmKernel4x8(SB), NOSPLIT, $0-72
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ a2+16(FP), R10
+	MOVQ a3+24(FP), R11
+	MOVQ b+32(FP), SI
+	MOVQ ldb+40(FP), R12
+	SHLQ $3, R12
+	MOVQ c+48(FP), DI
+	MOVQ ldc+56(FP), R13
+	SHLQ $3, R13
+	MOVQ k+64(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+gemm4x8loop:
+	VBROADCASTSD (R8), Y10
+	VBROADCASTSD (R9), Y11
+	VBROADCASTSD (R10), Y12
+	VBROADCASTSD (R11), Y13
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $8, R8
+	ADDQ         $8, R9
+	ADDQ         $8, R10
+	ADDQ         $8, R11
+	ADDQ         R12, SI
+	DECQ         CX
+	JNZ          gemm4x8loop
+
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	VADDPD  32(DI), Y3, Y3
+	VMOVUPD Y3, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y4, Y4
+	VMOVUPD Y4, (DI)
+	VADDPD  32(DI), Y5, Y5
+	VMOVUPD Y5, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y6, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD  32(DI), Y7, Y7
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemmKernel1x8(a, b *float64, ldb int, c *float64, k int)
+TEXT ·gemmKernel1x8(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), R8
+	MOVQ b+8(FP), SI
+	MOVQ ldb+16(FP), R12
+	SHLQ $3, R12
+	MOVQ c+24(FP), DI
+	MOVQ k+32(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+gemm1x8loop:
+	VBROADCASTSD (R8), Y10
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	ADDQ         $8, R8
+	ADDQ         R12, SI
+	DECQ         CX
+	JNZ          gemm1x8loop
+
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func atbKernel4x8(a *float64, lda int, b *float64, ldb int, c *float64, ldc, m int)
+TEXT ·atbKernel4x8(SB), NOSPLIT, $0-56
+	MOVQ a+0(FP), AX
+	MOVQ lda+8(FP), BX
+	SHLQ $3, BX
+	MOVQ b+16(FP), SI
+	MOVQ ldb+24(FP), R12
+	SHLQ $3, R12
+	MOVQ c+32(FP), DI
+	MOVQ ldc+40(FP), R13
+	SHLQ $3, R13
+	MOVQ m+48(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+atb4x8loop:
+	VBROADCASTSD (AX), Y10
+	VBROADCASTSD 8(AX), Y11
+	VBROADCASTSD 16(AX), Y12
+	VBROADCASTSD 24(AX), Y13
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         BX, AX
+	ADDQ         R12, SI
+	DECQ         CX
+	JNZ          atb4x8loop
+
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y2, Y2
+	VMOVUPD Y2, (DI)
+	VADDPD  32(DI), Y3, Y3
+	VMOVUPD Y3, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y4, Y4
+	VMOVUPD Y4, (DI)
+	VADDPD  32(DI), Y5, Y5
+	VMOVUPD Y5, 32(DI)
+	ADDQ    R13, DI
+	VADDPD  (DI), Y6, Y6
+	VMOVUPD Y6, (DI)
+	VADDPD  32(DI), Y7, Y7
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func atbKernel1x8(a *float64, lda int, b *float64, ldb int, c *float64, m int)
+TEXT ·atbKernel1x8(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), AX
+	MOVQ lda+8(FP), BX
+	SHLQ $3, BX
+	MOVQ b+16(FP), SI
+	MOVQ ldb+24(FP), R12
+	SHLQ $3, R12
+	MOVQ c+32(FP), DI
+	MOVQ m+40(FP), CX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+atb1x8loop:
+	VBROADCASTSD (AX), Y10
+	VMOVUPD      (SI), Y8
+	VMOVUPD      32(SI), Y9
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	ADDQ         BX, AX
+	ADDQ         R12, SI
+	DECQ         CX
+	JNZ          atb1x8loop
+
+	VADDPD  (DI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	VADDPD  32(DI), Y1, Y1
+	VMOVUPD Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func abtKernel2x4(a0, a1, b0, b1, b2, b3 *float64, k int, out *[8]float64)
+TEXT ·abtKernel2x4(SB), NOSPLIT, $0-64
+	MOVQ a0+0(FP), R8
+	MOVQ a1+8(FP), R9
+	MOVQ b0+16(FP), R10
+	MOVQ b1+24(FP), R11
+	MOVQ b2+32(FP), R12
+	MOVQ b3+40(FP), R13
+	MOVQ k+48(FP), CX
+	MOVQ out+56(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+abt2x4loop:
+	VMOVUPD     (R8), Y8
+	VMOVUPD     (R9), Y9
+	VMOVUPD     (R10), Y10
+	VMOVUPD     (R11), Y11
+	VMOVUPD     (R12), Y12
+	VMOVUPD     (R13), Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	VFMADD231PD Y10, Y9, Y4
+	VFMADD231PD Y11, Y9, Y5
+	VFMADD231PD Y12, Y9, Y6
+	VFMADD231PD Y13, Y9, Y7
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	ADDQ        $32, R12
+	ADDQ        $32, R13
+	SUBQ        $4, CX
+	JNZ         abt2x4loop
+
+	// Horizontal reduction of each accumulator into out[0..7].
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD       X8, X0, X0
+	VHADDPD      X0, X0, X0
+	VMOVSD       X0, (DI)
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD       X8, X1, X1
+	VHADDPD      X1, X1, X1
+	VMOVSD       X1, 8(DI)
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD       X8, X2, X2
+	VHADDPD      X2, X2, X2
+	VMOVSD       X2, 16(DI)
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD       X8, X3, X3
+	VHADDPD      X3, X3, X3
+	VMOVSD       X3, 24(DI)
+	VEXTRACTF128 $1, Y4, X8
+	VADDPD       X8, X4, X4
+	VHADDPD      X4, X4, X4
+	VMOVSD       X4, 32(DI)
+	VEXTRACTF128 $1, Y5, X8
+	VADDPD       X8, X5, X5
+	VHADDPD      X5, X5, X5
+	VMOVSD       X5, 40(DI)
+	VEXTRACTF128 $1, Y6, X8
+	VADDPD       X8, X6, X6
+	VHADDPD      X6, X6, X6
+	VMOVSD       X6, 48(DI)
+	VEXTRACTF128 $1, Y7, X8
+	VADDPD       X8, X7, X7
+	VHADDPD      X7, X7, X7
+	VMOVSD       X7, 56(DI)
+	VZEROUPPER
+	RET

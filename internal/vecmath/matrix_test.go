@@ -88,6 +88,96 @@ func TestMatMulABTAgainstNaive(t *testing.T) {
 	}
 }
 
+// TestGemmLargeAgainstNaive exercises the blocked paths (register-tile
+// remainders on every edge, k beyond one cache block).
+func TestGemmLargeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for _, dims := range [][3]int{{5, 300, 7}, {9, 257, 13}, {4, 256, 8}, {1, 513, 1}, {6, 3, 31}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		c := make([]float64, m*n)
+		Gemm(c, a, b, m, k, n, false)
+		matricesClose(t, c, naiveMatMul(a, b, m, k, n), "Gemm large")
+	}
+}
+
+func TestGemmAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 14))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.IntN(9), 1+rng.IntN(9), 1+rng.IntN(9)
+		a := randMat(rng, m*k)
+		b := randMat(rng, k*n)
+		seed := randMat(rng, m*n)
+
+		c := append([]float64(nil), seed...)
+		Gemm(c, a, b, m, k, n, true)
+		want := naiveMatMul(a, b, m, k, n)
+		for i := range want {
+			want[i] += seed[i]
+		}
+		matricesClose(t, c, want, "Gemm accumulate")
+	}
+}
+
+// TestGemmATBLongReduction pins the rank-1 panel path (m above
+// gemmATBPanelMin) and its narrow-n scalar fallbacks, which the random
+// small-shape tests never reach.
+func TestGemmATBLongReduction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 20))
+	for _, dims := range [][3]int{{100, 5, 7}, {64, 9, 3}, {97, 4, 16}, {128, 13, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randMat(rng, m*k)
+		b := randMat(rng, m*n)
+		c := make([]float64, k*n)
+		GemmATB(c, a, b, m, k, n, false)
+		matricesClose(t, c, naiveMatMul(transpose(a, m, k), b, k, m, n), "GemmATB long reduction")
+	}
+}
+
+func TestGemmATBAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(15, 16))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.IntN(9), 1+rng.IntN(9), 1+rng.IntN(9)
+		a := randMat(rng, m*k)
+		b := randMat(rng, m*n)
+		seed := randMat(rng, k*n)
+
+		c := append([]float64(nil), seed...)
+		GemmATB(c, a, b, m, k, n, true)
+		want := naiveMatMul(transpose(a, m, k), b, k, m, n)
+		for i := range want {
+			want[i] += seed[i]
+		}
+		matricesClose(t, c, want, "GemmATB accumulate")
+	}
+}
+
+func TestGemmABTAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(17, 18))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.IntN(9), 1+rng.IntN(9), 1+rng.IntN(9)
+		a := randMat(rng, m*k)
+		b := randMat(rng, n*k)
+		seed := randMat(rng, m*n)
+
+		c := append([]float64(nil), seed...)
+		GemmABT(c, a, b, m, k, n, true)
+		want := naiveMatMul(a, transpose(b, n, k), m, k, n)
+		for i := range want {
+			want[i] += seed[i]
+		}
+		matricesClose(t, c, want, "GemmABT accumulate")
+	}
+}
+
+func TestSumRowsAcc(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6} // 2×3
+	dst := []float64{100, 200, 300}
+	SumRowsAcc(dst, a, 2, 3)
+	matricesClose(t, dst, []float64{105, 207, 309}, "SumRowsAcc")
+}
+
 func TestMatMulIdentity(t *testing.T) {
 	// A·I = A.
 	n := 4

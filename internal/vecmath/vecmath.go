@@ -2,7 +2,29 @@
 // throughout the repository. Federated-learning algorithms in this codebase
 // exchange model updates as flat []float64 slices, so the hot operations are
 // BLAS-level-1 style kernels (axpy, dot, norms, cosine similarity) plus the
-// row-major matrix products needed by the neural-network substrate.
+// row-major GEMM kernels (matrix.go) that the neural-network substrate in
+// internal/nn lowers every dense, convolutional (via im2col), and recurrent
+// layer onto.
+//
+// # GEMM kernels and knobs
+//
+// Gemm, GemmATB, and GemmABT are register-tiled matrix products with an
+// accumulate flag (C = A·B or C += A·B). On amd64 with AVX2+FMA the main
+// tiles run in assembly microkernels (gemm_amd64.s), detected once via
+// CPUID; everywhere else, and for tile remainders, pure-Go 2×4 register
+// tiles are used. The tunable knobs are the constants in matrix.go:
+// gemmKC (reduction-dimension cache block of the pure-Go Gemm) and
+// gemmATBPanelMin (reduction length at which the pure-Go GemmATB switches
+// to rank-1 row panels); gemmMR/gemmNR merely document the fixed 2×4 tile
+// shape baked into the unrolled loop bodies. After changing a knob,
+// re-run at the repository root
+//
+//	go test ./internal/vecmath/ && go test -bench 'BenchmarkGEMM|BenchmarkGradEval' -benchtime 1x .
+//
+// to re-validate numerics and measure the effect; BenchmarkGEMM reports
+// flops/s for the shapes the substrate actually runs. DESIGN.md §2
+// documents the blocking scheme and the layer/scratch/engine contract
+// built on top of these kernels.
 //
 // All functions treat nil and empty slices as zero-length vectors. Functions
 // that combine two vectors panic when the lengths differ: a length mismatch
@@ -66,6 +88,14 @@ func AXPY(alpha float64, x, y []float64) {
 	checkLen("AXPY", len(x), len(y))
 	for i, xi := range x {
 		y[i] += alpha * xi
+	}
+}
+
+// AddConst computes x[i] += alpha in place. Used to apply per-channel
+// biases to contiguous activation rows.
+func AddConst(alpha float64, x []float64) {
+	for i := range x {
+		x[i] += alpha
 	}
 }
 
