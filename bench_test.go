@@ -98,6 +98,10 @@ func BenchmarkFig5PerRoundTime(b *testing.B)     { benchArtifact(b, "fig5") }
 func BenchmarkFig6Hybrids(b *testing.B)          { benchArtifact(b, "fig6") }
 func BenchmarkFig7GammaSensitivity(b *testing.B) { benchArtifact(b, "fig7") }
 
+// --- Scenario studies beyond the paper's artifacts ---
+
+func BenchmarkStragglerStudy(b *testing.B) { benchArtifact(b, "straggler") }
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkGradEval measures one mini-batch gradient evaluation per model

@@ -22,6 +22,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/report"
 	"repro/internal/rng"
+	"repro/internal/simclock"
 )
 
 func main() {
@@ -48,6 +49,10 @@ func run() error {
 		freeloaders = flag.Int("freeloaders", 0, "replace the last N clients with freeloaders")
 		detect      = flag.Bool("detect", false, "enable TACO freeloader detection")
 		weightData  = flag.Bool("weight-by-data", false, "aggregate with p_i = D_i/D")
+		policyName  = flag.String("policy", "sync", "aggregation policy: "+strings.Join(fl.PolicyNames(), "|"))
+		deadlineSec = flag.Float64("deadline", 0, "deadline policy: modeled seconds per round (0 = 1.5× the nominal modeled round)")
+		buffer      = flag.Int("buffer", 0, "async policy: buffered updates per server step (0 = clients/4, min 1)")
+		hetero      = flag.String("hetero", "uniform", "device fleet: "+strings.Join(simclock.FleetNames(), "|"))
 	)
 	flag.Parse()
 
@@ -93,6 +98,18 @@ func run() error {
 		}
 	}
 
+	policy, err := fl.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	// The nominal modeled round anchors the default deadline and the
+	// extreme fleet's availability period.
+	nominal := simclock.RoundSeconds(net.GradFlops(*batch), *localSteps, simclock.Plain())
+	fleet, err := simclock.FleetByName(*hetero, *clients, nominal, *seed)
+	if err != nil {
+		return err
+	}
+
 	cfg := fl.Config{
 		Rounds:       *rounds,
 		LocalSteps:   *localSteps,
@@ -101,6 +118,19 @@ func run() error {
 		GlobalLR:     *globalLR,
 		Seed:         *seed,
 		WeightByData: *weightData,
+		Policy:       policy,
+		Devices:      fleet,
+	}
+	// The flags are forwarded unconditionally so Config.Validate rejects
+	// contradictory invocations (e.g. -policy sync -deadline 5) instead
+	// of silently dropping the knob.
+	cfg.RoundDeadlineSec = *deadlineSec
+	cfg.AsyncBuffer = *buffer
+	if policy == fl.PolicyDeadline && cfg.RoundDeadlineSec == 0 {
+		cfg.RoundDeadlineSec = 1.5 * nominal
+	}
+	if policy == fl.PolicyAsync && cfg.AsyncBuffer == 0 {
+		cfg.AsyncBuffer = max(*clients/4, 1)
 	}
 	if *freeloaders > 0 {
 		if *freeloaders >= *clients {
@@ -119,12 +149,21 @@ func run() error {
 	run := res.Run
 	accs := make([]float64, len(run.Rounds))
 	for i, rec := range run.Rounds {
-		fmt.Printf("round %3d  acc %.4f  loss %.4f  t_model %.3fs  t_real %.3fs\n",
+		fmt.Printf("round %3d  acc %.4f  loss %.4f  t_model %.3fs  t_real %.3fs",
 			rec.Index+1, rec.Accuracy, rec.TrainLoss, rec.SlowestModeledSec, rec.SlowestMeasuredSec)
+		if policy != fl.PolicySync {
+			fmt.Printf("  stale %.2f/%d  drop %d", rec.MeanStaleness, rec.MaxStaleness, rec.DroppedClients)
+		}
+		fmt.Println()
 		accs[i] = rec.Accuracy
 	}
 	fmt.Printf("\n%s on %s: final %.4f, best %.4f  %s\n",
 		alg.Name(), *dsName, run.FinalAccuracy(), run.BestAccuracy(), report.Sparkline(accs, 0, 1))
+	if policy != fl.PolicySync && len(run.Rounds) > 0 {
+		fmt.Printf("policy %s (fleet %s): t_wall %.3fs, dropped %d, mean staleness %.2f (peak %d)\n",
+			policy, *hetero, run.Rounds[len(run.Rounds)-1].CumModeledSec,
+			run.TotalDropped(), run.MeanStaleness(), run.PeakStaleness())
+	}
 	if run.Diverged {
 		fmt.Printf("DIVERGED at round %d (the paper's '×' outcome)\n", run.DivergedRound)
 	}

@@ -81,10 +81,18 @@ func (a *STEM) GradAdjust(ctx *fl.StepCtx) {
 
 // Aggregate implements Algorithm 1 line 10 literally:
 // ∆^{t+1} = (1/(K·N·ηl)) Σ (∆_i + v_{i,K−1}), i.e. the server blends the
-// accumulated deltas with each client's final momentum estimate.
+// accumulated deltas with each client's final momentum estimate. Under
+// asynchronous aggregation each term is damped by the update's staleness
+// (the momentum estimate decays fastest of all the methods' auxiliary
+// state, so stale contributions shrink by 1/√(1+s) and the weights
+// renormalize over the damped sum).
 func (a *STEM) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
-	scale := s.GlobalLR() / (float64(a.k) * float64(len(updates)) * a.lr)
+	var dampSum float64
 	for _, u := range updates {
+		dampSum += fl.StalenessDamp(u.Staleness)
+	}
+	for _, u := range updates {
+		scale := s.GlobalLR() * fl.StalenessDamp(u.Staleness) / (float64(a.k) * dampSum * a.lr)
 		vecmath.AXPY(-scale, u.Delta, s.W)
 		vecmath.AXPY(-scale, a.v[u.Client], s.W)
 	}

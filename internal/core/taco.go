@@ -133,10 +133,13 @@ func (a *TACO) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	a.mean = a.tracker.MeanOver(updates)
 
 	// Eq. (9): ∆^{t+1} = Σ α_i ∆_i / (K·ηl·Σα_i), with weights optionally
-	// floored (see Config.AggFloor). When every coefficient vanishes
+	// floored (see Config.AggFloor) and damped by each update's staleness
+	// under asynchronous aggregation — a stale delta both carries an
+	// outdated correction and misestimates the drift, so its tailored
+	// weight shrinks by 1/√(1+s). When every coefficient vanishes
 	// (degenerate geometry) fall back to uniform weights.
 	weight := func(u fl.Update) float64 {
-		return math.Max(a.tracker.Alpha(u.Client), a.cfg.AggFloor)
+		return math.Max(a.tracker.Alpha(u.Client), a.cfg.AggFloor) * fl.StalenessDamp(u.Staleness)
 	}
 	var alphaSum float64
 	for _, u := range updates {

@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}
@@ -178,5 +178,33 @@ func TestFreeloaderIDsSpread(t *testing.T) {
 	}
 	if len(groups) < 3 {
 		t.Fatalf("freeloaders not spread across the client range: %v", ids)
+	}
+}
+
+// TestStragglerArtifact runs the heterogeneity × policy study end to end
+// at bench scale and checks the rendered shape.
+func TestStragglerArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 27 small runs")
+	}
+	r := NewRunner(ScaleBench)
+	tbl, err := Straggler(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, frag := range []string{"uniform", "mild", "extreme", "TACO", "Scaffold", "drops", "stale", "t_wall"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("straggler render missing %q:\n%s", frag, s)
+		}
+	}
+	// 3 fleets × 3 methods.
+	if rows := strings.Count(s, "| "); rows == 0 {
+		t.Fatalf("no table rows rendered:\n%s", s)
+	}
+	for _, fleet := range []string{"uniform", "mild", "extreme"} {
+		if strings.Count(s, fleet) < 3 {
+			t.Fatalf("fleet %s missing rows:\n%s", fleet, s)
+		}
 	}
 }

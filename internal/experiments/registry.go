@@ -36,6 +36,8 @@ var registry = map[string]Runnable{
 		return figArtifacts(figs, err)
 	},
 	"fig7": func(r *Runner) ([]Artifact, error) { return one(Fig7(r)) },
+	// Scenario studies beyond the paper's artifacts.
+	"straggler": func(r *Runner) ([]Artifact, error) { return one(Straggler(r)) },
 }
 
 func one[T Artifact](t T, err error) ([]Artifact, error) {

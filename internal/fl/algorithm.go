@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"math"
+
 	"repro/internal/nn"
 	"repro/internal/simclock"
 	"repro/internal/vecmath"
@@ -17,6 +19,10 @@ type Env struct {
 	NumParams int
 	// DataSizes is D_i per client.
 	DataSizes []int
+	// Devices is the resolved per-client device fleet (uniform when the
+	// config left it empty), so algorithms can inspect the heterogeneity
+	// regime they train under.
+	Devices []simclock.DeviceProfile
 	// Cfg is the engine configuration.
 	Cfg Config
 }
@@ -55,6 +61,12 @@ type Update struct {
 	NumSamples int
 	// TrainLoss is the client's mean mini-batch loss across the round.
 	TrainLoss float64
+	// Staleness counts the server versions that elapsed between the
+	// client starting this local round and the server consuming the
+	// update: 0 for the synchronous and deadline policies, ≥ 0 under
+	// buffered asynchronous aggregation. Aggregation rules damp stale
+	// updates via StalenessDamp.
+	Staleness int
 }
 
 // ServerCtx is the aggregation context. Aggregate must write the next
@@ -143,8 +155,22 @@ func (Base) FinalModel(w []float64) []float64 { return w }
 // MeanAlpha implements Algorithm.
 func (Base) MeanAlpha() float64 { return 0 }
 
-// AggregationWeights returns the static weights p_i of Eq. (6) over the
-// active updates: D_i/D when cfg.WeightByData, else 1/N_active.
+// StalenessDamp returns the FedBuff-style polynomial damping factor
+// 1/√(1+s) applied to an update that is s server versions stale. Fresh
+// updates (s ≤ 0) keep weight 1 exactly, so synchronous aggregation is
+// bit-identical with or without the damping in the formula.
+func StalenessDamp(staleness int) float64 {
+	if staleness <= 0 {
+		return 1
+	}
+	return 1 / math.Sqrt(1+float64(staleness))
+}
+
+// AggregationWeights returns the weights p_i of Eq. (6) over the active
+// updates: D_i/D when cfg.WeightByData, else 1/N_active. When any update
+// is stale (async policy), each base weight is damped by
+// StalenessDamp(s_i) and the result renormalized; with all-fresh updates
+// the legacy weights are returned bit-identically.
 func AggregationWeights(updates []Update, weightByData bool) []float64 {
 	weights := make([]float64, len(updates))
 	if weightByData {
@@ -155,10 +181,28 @@ func AggregationWeights(updates []Update, weightByData bool) []float64 {
 		for i, u := range updates {
 			weights[i] = float64(u.NumSamples) / float64(total)
 		}
+	} else {
+		for i := range weights {
+			weights[i] = 1 / float64(len(updates))
+		}
+	}
+	anyStale := false
+	for _, u := range updates {
+		if u.Staleness > 0 {
+			anyStale = true
+			break
+		}
+	}
+	if !anyStale {
 		return weights
 	}
+	var sum float64
+	for i, u := range updates {
+		weights[i] *= StalenessDamp(u.Staleness)
+		sum += weights[i]
+	}
 	for i := range weights {
-		weights[i] = 1 / float64(len(updates))
+		weights[i] /= sum
 	}
 	return weights
 }

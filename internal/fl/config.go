@@ -1,16 +1,73 @@
-// Package fl implements the federated-learning engine: the parameter-
-// server round loop of Section II of the paper, with algorithm hooks that
-// let each method (FedAvg, FedProx, FoolsGold, Scaffold, STEM, FedACG, and
-// TACO) plug in its loss regularization, per-step gradient correction, and
-// aggregation rule. The engine runs clients in parallel with deterministic
-// per-client random streams, measures both real and modeled client
-// computation time, and detects divergence (the paper's "×" outcomes).
+// Package fl implements the federated-learning engine: an event-driven
+// scheduler over the parameter-server protocol of Section II of the
+// paper, with algorithm hooks that let each method (FedAvg, FedProx,
+// FoolsGold, Scaffold, STEM, FedACG, and TACO) plug in its loss
+// regularization, per-step gradient correction, and aggregation rule.
+// Clients carry device heterogeneity profiles (simclock.DeviceProfile)
+// and the server aggregates under a pluggable policy — synchronous
+// lock-step, deadline-based straggler dropping, or FedBuff-style
+// buffered asynchrony with staleness-damped weights (DESIGN.md §4). The
+// engine runs clients in parallel with deterministic per-client random
+// streams, so results are bit-identical at any parallelism level; it
+// measures both real and modeled client computation time and detects
+// divergence (the paper's "×" outcomes).
 package fl
 
 import (
 	"fmt"
 	"runtime"
+
+	"repro/internal/simclock"
 )
+
+// AggregationPolicy selects how the server forms global updates from
+// client uploads (DESIGN.md §4).
+type AggregationPolicy int
+
+const (
+	// PolicySync is the paper's lock-step round: the server waits for
+	// every participant, however slow.
+	PolicySync AggregationPolicy = iota
+	// PolicyDeadline drops stragglers whose modeled finish time exceeds
+	// RoundDeadlineSec after the round start and aggregates the rest.
+	PolicyDeadline
+	// PolicyAsync is FedBuff-style buffered asynchronous aggregation:
+	// clients train continuously and the server steps once AsyncBuffer
+	// updates have arrived, tagging each with its staleness in server
+	// versions.
+	PolicyAsync
+)
+
+// String implements fmt.Stringer.
+func (p AggregationPolicy) String() string {
+	switch p {
+	case PolicySync:
+		return "sync"
+	case PolicyDeadline:
+		return "deadline"
+	case PolicyAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// PolicyNames lists the accepted -policy flag values in PolicySync order.
+func PolicyNames() []string { return []string{"sync", "deadline", "async"} }
+
+// ParsePolicy converts a flag value into an AggregationPolicy.
+func ParsePolicy(s string) (AggregationPolicy, error) {
+	switch s {
+	case "sync":
+		return PolicySync, nil
+	case "deadline":
+		return PolicyDeadline, nil
+	case "async":
+		return PolicyAsync, nil
+	default:
+		return 0, fmt.Errorf("fl: unknown policy %q (valid: %v)", s, PolicyNames())
+	}
+}
 
 // Config holds the engine parameters shared by every algorithm, following
 // the notation of Section II: K local steps of mini-batch SGD with local
@@ -41,8 +98,25 @@ type Config struct {
 	// ParticipationFraction selects the fraction of active clients that
 	// train each round (uniformly sampled per round). 0 or 1 means full
 	// participation, the paper's setting; values in between exercise the
-	// partial-participation extension.
+	// partial-participation extension. Incompatible with PolicyAsync,
+	// where every client trains continuously.
 	ParticipationFraction float64
+	// Policy selects the aggregation policy; the zero value PolicySync
+	// reproduces the paper's lock-step engine bit-identically.
+	Policy AggregationPolicy
+	// RoundDeadlineSec is the deadline policy's per-round straggler
+	// cut-off in modeled seconds after the round start. Required positive
+	// when Policy is PolicyDeadline; must be zero otherwise.
+	RoundDeadlineSec float64
+	// AsyncBuffer is the number of buffered client updates that triggers
+	// one asynchronous server step (FedBuff's K); 0 means 1, fully
+	// asynchronous aggregation. Must be zero unless Policy is PolicyAsync.
+	AsyncBuffer int
+	// Devices optionally assigns a heterogeneity profile to each client
+	// (speed multiplier + availability trace; see simclock.FleetByName).
+	// Empty means a uniform always-available fleet; otherwise its length
+	// must equal the number of client shards (checked by Run).
+	Devices []simclock.DeviceProfile
 }
 
 // Validate reports configuration errors.
@@ -60,6 +134,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: GlobalLR %v must be non-negative", c.GlobalLR)
 	case c.ParticipationFraction < 0 || c.ParticipationFraction > 1:
 		return fmt.Errorf("fl: ParticipationFraction %v must be in [0,1]", c.ParticipationFraction)
+	case c.Policy < PolicySync || c.Policy > PolicyAsync:
+		return fmt.Errorf("fl: unknown aggregation policy %d", c.Policy)
+	case c.RoundDeadlineSec < 0:
+		return fmt.Errorf("fl: RoundDeadlineSec %v must be non-negative", c.RoundDeadlineSec)
+	case c.Policy == PolicyDeadline && c.RoundDeadlineSec == 0:
+		return fmt.Errorf("fl: PolicyDeadline requires RoundDeadlineSec > 0")
+	case c.Policy != PolicyDeadline && c.RoundDeadlineSec != 0:
+		return fmt.Errorf("fl: RoundDeadlineSec %v is only meaningful with PolicyDeadline", c.RoundDeadlineSec)
+	case c.AsyncBuffer < 0:
+		return fmt.Errorf("fl: AsyncBuffer %d must be non-negative", c.AsyncBuffer)
+	case c.Policy != PolicyAsync && c.AsyncBuffer != 0:
+		return fmt.Errorf("fl: AsyncBuffer %d is only meaningful with PolicyAsync", c.AsyncBuffer)
+	case c.Policy == PolicyAsync && c.ParticipationFraction > 0 && c.ParticipationFraction < 1:
+		return fmt.Errorf("fl: ParticipationFraction %v is incompatible with PolicyAsync (clients train continuously)", c.ParticipationFraction)
+	}
+	for i, d := range c.Devices {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("fl: device %d: %w", i, err)
+		}
 	}
 	return nil
 }
@@ -78,6 +171,22 @@ func (c Config) parallelism() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// asyncBuffer resolves the async server-step trigger default.
+func (c Config) asyncBuffer() int {
+	if c.AsyncBuffer > 0 {
+		return c.AsyncBuffer
+	}
+	return 1
+}
+
+// devices resolves the fleet default (n nominal always-available devices).
+func (c Config) devices(n int) []simclock.DeviceProfile {
+	if len(c.Devices) > 0 {
+		return c.Devices
+	}
+	return simclock.UniformFleet(n)
 }
 
 // evalEvery resolves the evaluation cadence default.

@@ -40,7 +40,8 @@ type client struct {
 
 // Run trains net with the given algorithm over the client shards and
 // evaluates on test, returning the full metric history. The run is
-// deterministic for a fixed Config.Seed at any parallelism level.
+// deterministic for a fixed Config.Seed at any parallelism level under
+// every aggregation policy (DESIGN.md §4).
 func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -59,6 +60,9 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 		if id < 0 || id >= n {
 			return nil, fmt.Errorf("fl: freeloader id %d outside [0,%d)", id, n)
 		}
+	}
+	if len(cfg.Devices) > 0 && len(cfg.Devices) != n {
+		return nil, fmt.Errorf("fl: %d device profiles for %d clients", len(cfg.Devices), n)
 	}
 
 	root := rng.New(cfg.Seed)
@@ -92,114 +96,49 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 		NumClients: n,
 		NumParams:  numParams,
 		DataSizes:  dataSizes,
+		Devices:    cfg.devices(n),
 		Cfg:        cfg,
 	}
 	alg.Setup(env)
 
-	evalEng := nn.NewEngine(net, min(256, max(1, test.Len())))
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true
 	}
-	expelled := make(map[int]int)
-	run := &metrics.Run{Algorithm: alg.Name(), Dataset: test.Name}
 
-	wPrev := vecmath.Clone(params)
-	modeledRound := simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs())
-	participationRNG := root.Derive("participation", 0)
+	s := &scheduler{
+		cfg:       cfg,
+		alg:       alg,
+		clients:   clients,
+		env:       env,
+		params:    params,
+		wPrev:     vecmath.Clone(params),
+		active:    active,
+		expelled:  make(map[int]int),
+		run:       &metrics.Run{Algorithm: alg.Name(), Dataset: test.Name},
+		evalEng:   nn.NewEngine(net, min(256, max(1, test.Len()))),
+		test:      test,
+		baseRound: simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs()),
+		partRNG:   root.Derive("participation", 0),
+	}
 
-	for t := 0; t < cfg.Rounds; t++ {
-		// Collect the round's participating clients in ID order.
-		ids := make([]int, 0, n)
-		for i := 0; i < n; i++ {
-			if active[i] {
-				ids = append(ids, i)
-			}
-		}
-		if len(ids) == 0 {
-			return nil, fmt.Errorf("fl: all clients expelled by round %d", t)
-		}
-		if f := cfg.ParticipationFraction; f > 0 && f < 1 {
-			take := max(int(f*float64(len(ids))+0.5), 1)
-			picked := participationRNG.SampleWithoutReplacement(len(ids), take)
-			sort.Ints(picked)
-			sampled := make([]int, take)
-			for j, p := range picked {
-				sampled[j] = ids[p]
-			}
-			ids = sampled
-		}
-
-		updates := make([]Update, len(ids))
-		measured := make([]float64, len(ids))
-		runLocalRounds(cfg, alg, clients, ids, t, params, wPrev, updates, measured)
-
-		// Slowest honest client's computation time (the paper measures the
-		// slowest client per round; freeloaders do no work).
-		var slowestMeasured float64
-		anyHonest := false
-		for j, id := range ids {
-			if clients[id].freeloader {
-				continue
-			}
-			anyHonest = true
-			if measured[j] > slowestMeasured {
-				slowestMeasured = measured[j]
-			}
-		}
-		slowestModeled := modeledRound
-		if !anyHonest {
-			slowestModeled = 0
-		}
-
-		// Aggregate.
-		copy(wPrev, params)
-		server := &ServerCtx{
-			Round:  t,
-			W:      params,
-			WPrev:  wPrev,
-			Env:    env,
-			Active: active,
-		}
-		alg.Aggregate(server, updates)
-		for _, id := range server.expelled {
-			if active[id] {
-				active[id] = false
-				expelled[id] = t
-			}
-		}
-
-		// Divergence check: the paper's convergence failures ("×").
-		if !vecmath.AllFinite(params) {
-			run.Diverged = true
-			run.DivergedRound = t
-			break
-		}
-
-		rec := metrics.Round{
-			Index:              t,
-			TrainLoss:          meanLoss(updates),
-			SlowestModeledSec:  slowestModeled,
-			SlowestMeasuredSec: slowestMeasured,
-			MeanAlpha:          alg.MeanAlpha(),
-		}
-		// Evaluation uses the algorithm's output model: Definition 2 calls
-		// z_t "the final model output after communication round t", and by
-		// Lemma 2 the z sequence advances by the plain averaged mini-batch
-		// gradient (z^{t+1} = z^t − ηg·˜∆^t), cancelling the momentum in
-		// the w sequence. For every other algorithm FinalModel is w itself.
-		if (t+1)%cfg.evalEvery() == 0 || t == cfg.Rounds-1 {
-			rec.Accuracy = evalEng.Accuracy(alg.FinalModel(params), test.X, test.Y)
-		} else if len(run.Rounds) > 0 {
-			rec.Accuracy = run.Rounds[len(run.Rounds)-1].Accuracy
-		}
-		run.Append(rec)
+	var err error
+	switch cfg.Policy {
+	case PolicyDeadline:
+		err = s.runDeadline()
+	case PolicyAsync:
+		err = s.runAsync()
+	default:
+		err = s.runSync()
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	return &Result{
-		Run:         run,
+		Run:         s.run,
 		FinalParams: vecmath.Clone(alg.FinalModel(params)),
-		Expelled:    expelled,
+		Expelled:    s.expelled,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package fl_test
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/baselines"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/rng"
+	"repro/internal/simclock"
 )
 
 // testSetup builds a small 8-client adult-MLP federation.
@@ -50,6 +52,43 @@ func TestConfigValidate(t *testing.T) {
 		{"zero batch", func(c *fl.Config) { c.BatchSize = 0 }},
 		{"zero lr", func(c *fl.Config) { c.LocalLR = 0 }},
 		{"negative global lr", func(c *fl.Config) { c.GlobalLR = -1 }},
+		{"participation above one", func(c *fl.Config) { c.ParticipationFraction = 1.5 }},
+		{"negative participation", func(c *fl.Config) { c.ParticipationFraction = -0.1 }},
+		{"unknown policy", func(c *fl.Config) { c.Policy = fl.AggregationPolicy(99) }},
+		{"negative policy", func(c *fl.Config) { c.Policy = fl.AggregationPolicy(-1) }},
+		{"negative deadline", func(c *fl.Config) {
+			c.Policy = fl.PolicyDeadline
+			c.RoundDeadlineSec = -1
+		}},
+		{"deadline policy without deadline", func(c *fl.Config) { c.Policy = fl.PolicyDeadline }},
+		{"deadline without deadline policy", func(c *fl.Config) { c.RoundDeadlineSec = 2 }},
+		{"negative async buffer", func(c *fl.Config) {
+			c.Policy = fl.PolicyAsync
+			c.AsyncBuffer = -1
+		}},
+		{"async buffer without async policy", func(c *fl.Config) { c.AsyncBuffer = 4 }},
+		{"async with partial participation", func(c *fl.Config) {
+			c.Policy = fl.PolicyAsync
+			c.ParticipationFraction = 0.5
+		}},
+		{"zero device speed", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 0}}
+		}},
+		{"negative device speed", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: -2}}
+		}},
+		{"negative trace period", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 1, Availability: simclock.Trace{PeriodSec: -1}}}
+		}},
+		{"trace on-fraction zero", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 1, Availability: simclock.Trace{PeriodSec: 5}}}
+		}},
+		{"trace on-fraction above one", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 1, Availability: simclock.Trace{PeriodSec: 5, OnFraction: 1.5}}}
+		}},
+		{"trace offset NaN", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 1, Availability: simclock.Trace{PeriodSec: 5, OnFraction: 0.5, OffsetSec: math.NaN()}}}
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -60,8 +99,36 @@ func TestConfigValidate(t *testing.T) {
 			}
 		})
 	}
-	if err := quickConfig().Validate(); err != nil {
-		t.Fatalf("valid config rejected: %v", err)
+	valid := []struct {
+		name   string
+		mutate func(*fl.Config)
+	}{
+		{"default sync", func(*fl.Config) {}},
+		{"full participation boundary", func(c *fl.Config) { c.ParticipationFraction = 1 }},
+		{"deadline policy", func(c *fl.Config) {
+			c.Policy = fl.PolicyDeadline
+			c.RoundDeadlineSec = 1.5
+		}},
+		{"async policy", func(c *fl.Config) {
+			c.Policy = fl.PolicyAsync
+			c.AsyncBuffer = 4
+		}},
+		{"async default buffer", func(c *fl.Config) { c.Policy = fl.PolicyAsync }},
+		{"device fleet", func(c *fl.Config) {
+			c.Devices = []simclock.DeviceProfile{
+				{SpeedFactor: 1},
+				{SpeedFactor: 3, Availability: simclock.Trace{PeriodSec: 5, OnFraction: 0.5}},
+			}
+		}},
+	}
+	for _, tt := range valid {
+		t.Run("valid "+tt.name, func(t *testing.T) {
+			cfg := quickConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+		})
 	}
 }
 
@@ -337,5 +404,35 @@ func TestParticipationValidation(t *testing.T) {
 	cfg.ParticipationFraction = -0.1
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("expected validation error for negative fraction")
+	}
+}
+
+func TestStalenessDampedWeights(t *testing.T) {
+	fresh := []fl.Update{
+		{Client: 0, NumSamples: 10},
+		{Client: 1, NumSamples: 30},
+	}
+	// All-fresh updates keep the legacy weights bit-identically.
+	uniform := fl.AggregationWeights(fresh, false)
+	if uniform[0] != 0.5 || uniform[1] != 0.5 {
+		t.Fatalf("fresh uniform weights = %v", uniform)
+	}
+	stale := []fl.Update{
+		{Client: 0, NumSamples: 10},
+		{Client: 1, NumSamples: 10, Staleness: 3},
+	}
+	damped := fl.AggregationWeights(stale, false)
+	if damped[0] <= damped[1] {
+		t.Fatalf("stale update not down-weighted: %v", damped)
+	}
+	if sum := damped[0] + damped[1]; math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("damped weights sum to %v, want 1", sum)
+	}
+	// The 1/√(1+s) ratio is exact.
+	if ratio := damped[1] / damped[0]; math.Abs(ratio-1/math.Sqrt(4)) > 1e-12 {
+		t.Fatalf("damping ratio %v, want 0.5", ratio)
+	}
+	if fl.StalenessDamp(0) != 1 || fl.StalenessDamp(-1) != 1 {
+		t.Fatal("fresh updates must keep weight 1 exactly")
 	}
 }

@@ -1,0 +1,251 @@
+package fl
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// referenceRun is a frozen copy of the engine's pre-scheduler lock-step
+// round loop (the Run of the GEMM-substrate revision). It is the golden
+// oracle for the synchronous policy: runSync must reproduce it
+// bit-identically — same RNG derivation order, same update ordering,
+// same aggregation arithmetic. Do not "fix" or modernize this function;
+// divergence from it is the bug.
+func referenceRun(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*Result, error) {
+	n := len(shards)
+	root := rng.New(cfg.Seed)
+	params := net.InitParams(root.Derive("init", 0))
+	numParams := net.NumParams()
+	inSize := net.InShape().Size()
+	freeloaders := cfg.freeloaderSet()
+
+	clients := make([]*client, n)
+	dataSizes := make([]int, n)
+	for i, shard := range shards {
+		clients[i] = &client{
+			id:      i,
+			data:    shard,
+			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
+			eng:     nn.NewEngine(net, cfg.BatchSize),
+			w0:      make([]float64, numParams),
+			w:       make([]float64, numParams),
+			delta:   make([]float64, numParams),
+			grad:    make([]float64, numParams),
+			scratch: make([]float64, numParams),
+			batchX:  make([]float64, cfg.BatchSize*inSize),
+			batchY:  make([]int, cfg.BatchSize),
+
+			freeloader: freeloaders[i],
+		}
+		dataSizes[i] = shard.Len()
+	}
+
+	env := &Env{
+		Net:        net,
+		NumClients: n,
+		NumParams:  numParams,
+		DataSizes:  dataSizes,
+		Cfg:        cfg,
+	}
+	alg.Setup(env)
+
+	evalEng := nn.NewEngine(net, min(256, max(1, test.Len())))
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	expelled := make(map[int]int)
+	run := &metrics.Run{Algorithm: alg.Name(), Dataset: test.Name}
+
+	wPrev := vecmath.Clone(params)
+	modeledRound := simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs())
+	participationRNG := root.Derive("participation", 0)
+
+	for t := 0; t < cfg.Rounds; t++ {
+		ids := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if active[i] {
+				ids = append(ids, i)
+			}
+		}
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("fl: all clients expelled by round %d", t)
+		}
+		if f := cfg.ParticipationFraction; f > 0 && f < 1 {
+			take := max(int(f*float64(len(ids))+0.5), 1)
+			picked := participationRNG.SampleWithoutReplacement(len(ids), take)
+			sort.Ints(picked)
+			sampled := make([]int, take)
+			for j, p := range picked {
+				sampled[j] = ids[p]
+			}
+			ids = sampled
+		}
+
+		updates := make([]Update, len(ids))
+		measured := make([]float64, len(ids))
+		runLocalRounds(cfg, alg, clients, ids, t, params, wPrev, updates, measured)
+
+		var slowestMeasured float64
+		anyHonest := false
+		for j, id := range ids {
+			if clients[id].freeloader {
+				continue
+			}
+			anyHonest = true
+			if measured[j] > slowestMeasured {
+				slowestMeasured = measured[j]
+			}
+		}
+		slowestModeled := modeledRound
+		if !anyHonest {
+			slowestModeled = 0
+		}
+
+		copy(wPrev, params)
+		server := &ServerCtx{
+			Round:  t,
+			W:      params,
+			WPrev:  wPrev,
+			Env:    env,
+			Active: active,
+		}
+		alg.Aggregate(server, updates)
+		for _, id := range server.expelled {
+			if active[id] {
+				active[id] = false
+				expelled[id] = t
+			}
+		}
+
+		if !vecmath.AllFinite(params) {
+			run.Diverged = true
+			run.DivergedRound = t
+			break
+		}
+
+		rec := metrics.Round{
+			Index:              t,
+			TrainLoss:          meanLoss(updates),
+			SlowestModeledSec:  slowestModeled,
+			SlowestMeasuredSec: slowestMeasured,
+			MeanAlpha:          alg.MeanAlpha(),
+		}
+		if (t+1)%cfg.evalEvery() == 0 || t == cfg.Rounds-1 {
+			rec.Accuracy = evalEng.Accuracy(alg.FinalModel(params), test.X, test.Y)
+		} else if len(run.Rounds) > 0 {
+			rec.Accuracy = run.Rounds[len(run.Rounds)-1].Accuracy
+		}
+		run.Append(rec)
+	}
+
+	return &Result{
+		Run:         run,
+		FinalParams: vecmath.Clone(alg.FinalModel(params)),
+		Expelled:    expelled,
+	}, nil
+}
+
+// paramsHash fingerprints a parameter vector bit-exactly.
+func paramsHash(params []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range params {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// goldenSetup builds the small adult federation the golden tests train.
+func goldenSetup(t *testing.T, clients int, seed uint64) (*nn.Network, []*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Standard("adult", dataset.ScaleSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, clients, 0.5, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataset.Model("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, part.Shards(train), test
+}
+
+// TestSyncPolicyMatchesPreSchedulerEngine is the golden regression: the
+// event-driven scheduler's synchronous policy must reproduce the
+// pre-refactor round loop bit-identically — FinalParams hash, every
+// metric field, and expulsions — across algorithms and engine features
+// (freeloaders, partial participation).
+func TestSyncPolicyMatchesPreSchedulerEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		alg  func() Algorithm
+		cfg  func(*Config)
+	}{
+		{"fedavg", func() Algorithm { return goldenFedAvg{} }, nil},
+		{"fedavg-partial", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.ParticipationFraction = 0.5 }},
+		{"fedavg-freeloader", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.Freeloaders = []int{5} }},
+		{"fedavg-bydata", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.WeightByData = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net, shards, test := goldenSetup(t, 6, 4)
+			cfg := Config{Rounds: 5, LocalSteps: 4, BatchSize: 16, LocalLR: 0.05, Seed: 11}
+			if tc.cfg != nil {
+				tc.cfg(&cfg)
+			}
+			want, err := referenceRun(cfg, tc.alg(), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Run(cfg, tc.alg(), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wh, gh := paramsHash(want.FinalParams), paramsHash(got.FinalParams); wh != gh {
+				t.Fatalf("FinalParams hash mismatch: reference %016x, scheduler %016x", wh, gh)
+			}
+			if len(want.Run.Rounds) != len(got.Run.Rounds) {
+				t.Fatalf("round count: reference %d, scheduler %d", len(want.Run.Rounds), len(got.Run.Rounds))
+			}
+			for i := range want.Run.Rounds {
+				// Measured wall time is real Go time, inherently noisy;
+				// every modeled/deterministic field must match exactly.
+				w, g := want.Run.Rounds[i], got.Run.Rounds[i]
+				w.SlowestMeasuredSec, g.SlowestMeasuredSec = 0, 0
+				w.CumMeasuredSec, g.CumMeasuredSec = 0, 0
+				if w != g {
+					t.Fatalf("round %d record mismatch:\nreference %+v\nscheduler %+v", i, w, g)
+				}
+			}
+		})
+	}
+}
+
+// goldenFedAvg is a minimal FedAvg so the white-box golden test does not
+// import internal/baselines (which would create an import cycle through
+// this package).
+type goldenFedAvg struct{ Base }
+
+func (goldenFedAvg) Name() string { return "FedAvg" }
+func (goldenFedAvg) Aggregate(s *ServerCtx, updates []Update) {
+	FedAvgStep(s, updates)
+}

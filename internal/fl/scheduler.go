@@ -1,0 +1,375 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// scheduler is the event-driven round engine behind Run. One instance
+// drives one training run under one aggregation policy; its virtual clock
+// is modeled (simclock) time, so every scheduling decision — straggler
+// drops, arrival order, staleness — is a pure function of the config and
+// therefore bit-reproducible at any parallelism level.
+//
+// Local computation is executed when a client is *dispatched*, not when
+// its modeled finish event fires: the algorithm state a client reads
+// (correction vectors, control variates) is exactly the state at its
+// dispatch version, which is what makes stale-correction dynamics
+// faithful without racing the server's aggregation step. Per-client
+// algorithm state written by EndLocal therefore reflects the client's
+// latest dispatched round, which under the async policy may be ahead of
+// an update still waiting in the server buffer.
+type scheduler struct {
+	cfg      Config
+	alg      Algorithm
+	clients  []*client
+	env      *Env
+	params   []float64
+	wPrev    []float64
+	active   []bool
+	expelled map[int]int
+	run      *metrics.Run
+	evalEng  *nn.Engine
+	test     *dataset.Dataset
+	// baseRound is the nominal-device modeled duration of one local round
+	// (K steps with the algorithm's cost profile); per-client durations
+	// scale it by the device's speed factor.
+	baseRound float64
+	partRNG   *rng.RNG
+}
+
+// participants collects the round's participating clients in ID order,
+// applying the partial-participation sampler, and errors when every
+// client has been expelled.
+func (s *scheduler) participants(t int) ([]int, error) {
+	ids := make([]int, 0, len(s.clients))
+	for i := range s.clients {
+		if s.active[i] {
+			ids = append(ids, i)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("fl: all clients expelled by round %d", t)
+	}
+	if f := s.cfg.ParticipationFraction; f > 0 && f < 1 {
+		take := max(int(f*float64(len(ids))+0.5), 1)
+		picked := s.partRNG.SampleWithoutReplacement(len(ids), take)
+		sort.Ints(picked)
+		sampled := make([]int, take)
+		for j, p := range picked {
+			sampled[j] = ids[p]
+		}
+		ids = sampled
+	}
+	return ids, nil
+}
+
+// aggregate runs one server step over updates: snapshot w^t, apply the
+// algorithm's aggregation rule, process expulsions, and report whether
+// the model diverged (the paper's "×" outcome), which halts the run.
+func (s *scheduler) aggregate(t int, updates []Update) (diverged bool) {
+	copy(s.wPrev, s.params)
+	server := &ServerCtx{
+		Round:  t,
+		W:      s.params,
+		WPrev:  s.wPrev,
+		Env:    s.env,
+		Active: s.active,
+	}
+	s.alg.Aggregate(server, updates)
+	for _, id := range server.expelled {
+		if s.active[id] {
+			s.active[id] = false
+			s.expelled[id] = t
+		}
+	}
+	if !vecmath.AllFinite(s.params) {
+		s.run.Diverged = true
+		s.run.DivergedRound = t
+		return true
+	}
+	return false
+}
+
+// recordAccuracy fills rec.Accuracy per the evaluation cadence.
+// Evaluation uses the algorithm's output model: Definition 2 calls z_t
+// "the final model output after communication round t", and by Lemma 2
+// the z sequence advances by the plain averaged mini-batch gradient
+// (z^{t+1} = z^t − ηg·˜∆^t), cancelling the momentum in the w sequence.
+// For every other algorithm FinalModel is w itself.
+func (s *scheduler) recordAccuracy(t int, rec *metrics.Round) {
+	if (t+1)%s.cfg.evalEvery() == 0 || t == s.cfg.Rounds-1 {
+		rec.Accuracy = s.evalEng.Accuracy(s.alg.FinalModel(s.params), s.test.X, s.test.Y)
+	} else if len(s.run.Rounds) > 0 {
+		rec.Accuracy = s.run.Rounds[len(s.run.Rounds)-1].Accuracy
+	}
+}
+
+// slowestHonest returns the largest measured wall time among non-
+// freeloader participants (the paper measures the slowest client per
+// round; freeloaders do no work).
+func (s *scheduler) slowestHonest(ids []int, measured []float64) float64 {
+	var slowest float64
+	for j, id := range ids {
+		if s.clients[id].freeloader {
+			continue
+		}
+		if measured[j] > slowest {
+			slowest = measured[j]
+		}
+	}
+	return slowest
+}
+
+// runSync is the paper's lock-step loop: every participant trains, the
+// server waits for all of them — including any wait for an off-window
+// device to come back, which is where the synchronous policy pays for
+// heterogeneity in modeled wall time. With a uniform fleet it reproduces
+// the pre-scheduler engine bit-identically (golden-tested: for an
+// always-available device finishRel collapses to Seconds(baseRound)
+// exactly).
+func (s *scheduler) runSync() error {
+	now := 0.0
+	for t := 0; t < s.cfg.Rounds; t++ {
+		ids, err := s.participants(t)
+		if err != nil {
+			return err
+		}
+		updates := make([]Update, len(ids))
+		measured := make([]float64, len(ids))
+		runLocalRounds(s.cfg, s.alg, s.clients, ids, t, s.params, s.wPrev, updates, measured)
+
+		// The synchronous server waits for the slowest honest device.
+		var slowestModeled float64
+		for _, id := range ids {
+			if s.clients[id].freeloader {
+				continue
+			}
+			if m := s.finishRel(id, now); m > slowestModeled {
+				slowestModeled = m
+			}
+		}
+		slowestMeasured := s.slowestHonest(ids, measured)
+
+		if s.aggregate(t, updates) {
+			break
+		}
+		rec := metrics.Round{
+			Index:              t,
+			TrainLoss:          meanLoss(updates),
+			SlowestModeledSec:  slowestModeled,
+			SlowestMeasuredSec: slowestMeasured,
+			MeanAlpha:          s.alg.MeanAlpha(),
+		}
+		s.recordAccuracy(t, &rec)
+		s.run.Append(rec)
+		now += slowestModeled
+	}
+	return nil
+}
+
+// finishRel returns client id's modeled finish time relative to a round
+// starting at now: wait for the device's next availability window, then
+// compute. The wait is formed before adding the compute duration so an
+// always-available device yields exactly finishDur (no now+dur−now
+// round trip), which the sync golden test depends on.
+func (s *scheduler) finishRel(id int, now float64) float64 {
+	wait := s.env.Devices[id].Availability.NextAvailable(now) - now
+	return wait + s.finishDur(id)
+}
+
+// runDeadline is round-based partial aggregation: participants whose
+// modeled finish time exceeds the round deadline are dropped before any
+// work is dispatched (the server will not wait, so the straggler's round
+// is abandoned) and retry from the next round's fresh model. When every
+// participant would miss the deadline the server admits the earliest
+// finisher so the round always aggregates at least one update.
+func (s *scheduler) runDeadline() error {
+	now := 0.0
+	for t := 0; t < s.cfg.Rounds; t++ {
+		ids, err := s.participants(t)
+		if err != nil {
+			return err
+		}
+		include := make([]int, 0, len(ids))
+		var roundDur float64
+		dropped := 0
+		earliest, earliestRel := -1, math.Inf(1)
+		for _, id := range ids {
+			rel := s.finishRel(id, now)
+			if rel <= s.cfg.RoundDeadlineSec {
+				include = append(include, id)
+				if rel > roundDur {
+					roundDur = rel
+				}
+			} else {
+				dropped++
+				if rel < earliestRel {
+					earliest, earliestRel = id, rel
+				}
+			}
+		}
+		if len(include) == 0 {
+			include = append(include, earliest)
+			dropped--
+			roundDur = earliestRel
+		} else if dropped > 0 {
+			// Stragglers were cut off, so the server waited out the full
+			// deadline before closing the round.
+			roundDur = s.cfg.RoundDeadlineSec
+		}
+
+		updates := make([]Update, len(include))
+		measured := make([]float64, len(include))
+		runLocalRounds(s.cfg, s.alg, s.clients, include, t, s.params, s.wPrev, updates, measured)
+
+		if s.aggregate(t, updates) {
+			break
+		}
+		rec := metrics.Round{
+			Index:              t,
+			TrainLoss:          meanLoss(updates),
+			SlowestModeledSec:  roundDur,
+			SlowestMeasuredSec: s.slowestHonest(include, measured),
+			MeanAlpha:          s.alg.MeanAlpha(),
+			DroppedClients:     dropped,
+		}
+		s.recordAccuracy(t, &rec)
+		s.run.Append(rec)
+		now += roundDur
+	}
+	return nil
+}
+
+// flight is one client's in-progress local round under the async policy:
+// the update it will upload (already computed — see the scheduler doc
+// comment), the server version it trained from, and its modeled
+// completion time.
+type flight struct {
+	update   Update
+	measured float64
+	finish   float64
+	version  int
+}
+
+// runAsync is FedBuff-style buffered asynchronous aggregation: every
+// client trains continuously; the server steps once asyncBuffer updates
+// have arrived, tagging each with its staleness (server versions elapsed
+// since the client downloaded its base model). A client restarts from
+// the then-current model immediately after uploading; the update that
+// triggers a server step restarts after it, on the new model. Cfg.Rounds
+// counts server steps.
+func (s *scheduler) runAsync() error {
+	bufK := s.cfg.asyncBuffer()
+	pending := make([]*flight, len(s.clients))
+	version := 0
+	now, lastAgg := 0.0, 0.0
+
+	dispatch := func(ids []int, at float64) {
+		updates := make([]Update, len(ids))
+		measured := make([]float64, len(ids))
+		runLocalRounds(s.cfg, s.alg, s.clients, ids, version, s.params, s.wPrev, updates, measured)
+		for j, id := range ids {
+			u := updates[j]
+			// The client's delta buffer is reused by its next dispatch,
+			// so the buffered upload owns a copy.
+			u.Delta = vecmath.Clone(u.Delta)
+			pending[id] = &flight{
+				update:   u,
+				measured: measured[j],
+				finish:   s.env.Devices[id].Availability.NextAvailable(at) + s.finishDur(id),
+				version:  version,
+			}
+		}
+	}
+
+	ids, err := s.participants(0)
+	if err != nil {
+		return err
+	}
+	dispatch(ids, 0)
+
+	buffer := make([]Update, 0, bufK)
+	var bufMeasured float64
+	for t := 0; t < s.cfg.Rounds; t++ {
+		// Drain arrivals in virtual-time order (ties broken by client ID)
+		// until the buffer triggers a server step.
+		trigger := -1
+		for len(buffer) < bufK {
+			id := -1
+			for i, f := range pending {
+				if f != nil && (id == -1 || f.finish < pending[id].finish) {
+					id = i
+				}
+			}
+			if id == -1 {
+				return fmt.Errorf("fl: no client updates in flight at async step %d (all clients expelled)", t)
+			}
+			f := pending[id]
+			pending[id] = nil
+			now = f.finish
+			if !s.active[id] {
+				continue // expelled while in flight: upload discarded
+			}
+			f.update.Staleness = version - f.version
+			buffer = append(buffer, f.update)
+			if f.measured > bufMeasured {
+				bufMeasured = f.measured
+			}
+			if len(buffer) < bufK {
+				dispatch([]int{id}, now)
+			} else {
+				trigger = id
+			}
+		}
+
+		var staleSum, staleMax int
+		for _, u := range buffer {
+			staleSum += u.Staleness
+			if u.Staleness > staleMax {
+				staleMax = u.Staleness
+			}
+		}
+
+		if s.aggregate(t, buffer) {
+			break
+		}
+		version++
+		if trigger >= 0 && s.active[trigger] {
+			dispatch([]int{trigger}, now)
+		}
+		rec := metrics.Round{
+			Index:              t,
+			TrainLoss:          meanLoss(buffer),
+			SlowestModeledSec:  now - lastAgg,
+			SlowestMeasuredSec: bufMeasured,
+			MeanAlpha:          s.alg.MeanAlpha(),
+			MeanStaleness:      float64(staleSum) / float64(len(buffer)),
+			MaxStaleness:       staleMax,
+		}
+		s.recordAccuracy(t, &rec)
+		s.run.Append(rec)
+		lastAgg = now
+		buffer = buffer[:0]
+		bufMeasured = 0
+	}
+	return nil
+}
+
+// finishDur returns client id's modeled compute duration. Freeloaders
+// claim the same duration as honest work: they masquerade as honest
+// clients (Section IV-A), so their uploads arrive on an honest-looking
+// schedule — replying instantly would both unmask them and let them
+// flood the async buffer at a frozen virtual clock. (Their real measured
+// time stays near zero, and the sync policy's slowest-client metrics
+// exclude them as before.)
+func (s *scheduler) finishDur(id int) float64 {
+	return s.env.Devices[id].Seconds(s.baseRound)
+}

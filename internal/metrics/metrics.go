@@ -25,6 +25,14 @@ type Round struct {
 	// MeanAlpha is the mean TACO correction coefficient this round
 	// (0 for algorithms without one).
 	MeanAlpha float64
+	// MeanStaleness and MaxStaleness describe the staleness (in server
+	// versions) of the updates aggregated this round; both are 0 under
+	// the synchronous and deadline policies.
+	MeanStaleness float64
+	MaxStaleness  int
+	// DroppedClients counts participants dropped past the round deadline
+	// (deadline policy only; 0 otherwise).
+	DroppedClients int
 }
 
 // Run is the full history of one FL training run.
@@ -99,6 +107,39 @@ func (r *Run) MeasuredTimeToAccuracy(target float64) (float64, bool) {
 		}
 	}
 	return math.Inf(1), false
+}
+
+// TotalDropped sums the deadline-dropped participants across all rounds.
+func (r *Run) TotalDropped() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.DroppedClients
+	}
+	return total
+}
+
+// MeanStaleness averages the per-round mean update staleness (0 when the
+// run recorded no rounds or ran a policy without staleness).
+func (r *Run) MeanStaleness() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, rec := range r.Rounds {
+		sum += rec.MeanStaleness
+	}
+	return sum / float64(len(r.Rounds))
+}
+
+// PeakStaleness returns the largest per-update staleness seen in any round.
+func (r *Run) PeakStaleness() int {
+	peak := 0
+	for _, rec := range r.Rounds {
+		if rec.MaxStaleness > peak {
+			peak = rec.MaxStaleness
+		}
+	}
+	return peak
 }
 
 // MedianSlowestModeledSec returns the median per-round modeled time of the

@@ -105,3 +105,26 @@ func TestMeanStd(t *testing.T) {
 		t.Fatal("empty MeanStd must be 0,0")
 	}
 }
+
+func TestSchedulerColumns(t *testing.T) {
+	r := &Run{}
+	r.Append(Round{Index: 0, DroppedClients: 2, MeanStaleness: 0, MaxStaleness: 0})
+	r.Append(Round{Index: 1, DroppedClients: 1, MeanStaleness: 1.5, MaxStaleness: 3})
+	r.Append(Round{Index: 2, DroppedClients: 0, MeanStaleness: 0.5, MaxStaleness: 1})
+	if got := r.TotalDropped(); got != 3 {
+		t.Fatalf("TotalDropped = %d, want 3", got)
+	}
+	if got := r.MeanStaleness(); got != (0+1.5+0.5)/3 {
+		t.Fatalf("MeanStaleness = %v", got)
+	}
+	if got := r.PeakStaleness(); got != 3 {
+		t.Fatalf("PeakStaleness = %d, want 3", got)
+	}
+}
+
+func TestSchedulerColumnsEmptyRun(t *testing.T) {
+	r := &Run{}
+	if r.TotalDropped() != 0 || r.MeanStaleness() != 0 || r.PeakStaleness() != 0 {
+		t.Fatal("empty run must report zero scheduler metrics")
+	}
+}

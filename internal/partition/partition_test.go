@@ -252,6 +252,82 @@ func TestErrorCases(t *testing.T) {
 	}
 }
 
+// assertExactCover checks — independently of Partition.Validate — that a
+// partition assigns every sample exactly once and leaves no client empty.
+func assertExactCover(t *testing.T, p *Partition, datasetLen int) {
+	t.Helper()
+	seen := make([]int, datasetLen)
+	for c, idx := range p.Indices {
+		if len(idx) == 0 {
+			t.Fatalf("client %d owns no samples", c)
+		}
+		for _, s := range idx {
+			if s < 0 || s >= datasetLen {
+				t.Fatalf("client %d references sample %d outside [0,%d)", c, s, datasetLen)
+			}
+			seen[s]++
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("sample %d assigned %d times, want exactly once", s, n)
+		}
+	}
+}
+
+// TestDirichletProperty sweeps the Dirichlet partitioner over the client
+// counts, concentrations, and datasets the experiments use (φ down to
+// 0.1 at 100 clients is the harshest Table VII cell), asserting the
+// exactly-once-coverage and no-empty-shard invariants for many seeds.
+func TestDirichletProperty(t *testing.T) {
+	datasets := []string{"mnist", "adult"}
+	for _, dsName := range datasets {
+		train, _, err := dataset.Standard(dsName, dataset.ScaleSmall, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{8, 20, 100} {
+			for _, phi := range []float64{0.1, 0.2, 0.5, 5} {
+				for seed := uint64(1); seed <= 5; seed++ {
+					p, err := Dirichlet(train, n, phi, rng.New(seed))
+					if err != nil {
+						t.Fatalf("%s Dir(%v) n=%d seed=%d: %v", dsName, phi, n, seed, err)
+					}
+					assertExactCover(t, p, train.Len())
+					if got := p.NumClients(); got != n {
+						t.Fatalf("%s Dir(%v): %d clients, want %d", dsName, phi, got, n)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionPropertyOtherKinds applies the same invariants to the
+// remaining partition kinds at experiment sizes.
+func TestPartitionPropertyOtherKinds(t *testing.T) {
+	d := testData(t)
+	for seed := uint64(1); seed <= 5; seed++ {
+		p, err := IID(d, 20, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactCover(t, p, d.Len())
+
+		p, _, err = Groups(d, PaperGroups(20), rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactCover(t, p, d.Len())
+
+		p, err = QuantitySkew(d, 10, 0.5, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExactCover(t, p, d.Len())
+	}
+}
+
 func TestValidateDetectsProblems(t *testing.T) {
 	p := &Partition{Indices: [][]int{{0, 1}, {1}}}
 	if err := p.Validate(3); err == nil {

@@ -1,0 +1,154 @@
+package simclock
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Trace is a deterministic periodic availability schedule: the device is
+// reachable during the first OnFraction of every PeriodSec-long cycle,
+// with the cycle origin shifted by OffsetSec. The zero value (PeriodSec
+// 0) means always available. Traces are pure functions of time, so the
+// event-driven scheduler stays bit-reproducible at any parallelism.
+type Trace struct {
+	// PeriodSec is the cycle length in modeled seconds; 0 disables the
+	// trace (always available).
+	PeriodSec float64
+	// OnFraction ∈ (0,1] is the fraction of each cycle, measured from the
+	// cycle start, during which the device is reachable.
+	OnFraction float64
+	// OffsetSec shifts the cycle origin, decorrelating devices that share
+	// a period.
+	OffsetSec float64
+}
+
+// Validate reports malformed traces.
+func (tr Trace) Validate() error {
+	switch {
+	case tr.PeriodSec < 0 || math.IsNaN(tr.PeriodSec) || math.IsInf(tr.PeriodSec, 0):
+		return fmt.Errorf("simclock: trace period %v must be a finite non-negative value", tr.PeriodSec)
+	case tr.PeriodSec > 0 && !(tr.OnFraction > 0 && tr.OnFraction <= 1):
+		return fmt.Errorf("simclock: trace on-fraction %v must be in (0,1]", tr.OnFraction)
+	case math.IsNaN(tr.OffsetSec) || math.IsInf(tr.OffsetSec, 0):
+		return fmt.Errorf("simclock: trace offset %v must be finite", tr.OffsetSec)
+	}
+	return nil
+}
+
+// phase returns the position of time t inside its cycle, in [0, PeriodSec).
+func (tr Trace) phase(t float64) float64 {
+	p := math.Mod(t-tr.OffsetSec, tr.PeriodSec)
+	if p < 0 {
+		p += tr.PeriodSec
+	}
+	return p
+}
+
+// Available reports whether the device is reachable at modeled time t.
+func (tr Trace) Available(t float64) bool {
+	if tr.PeriodSec <= 0 {
+		return true
+	}
+	return tr.phase(t) < tr.OnFraction*tr.PeriodSec
+}
+
+// NextAvailable returns the earliest modeled time ≥ t at which the device
+// is reachable.
+func (tr Trace) NextAvailable(t float64) float64 {
+	if tr.PeriodSec <= 0 || tr.Available(t) {
+		return t
+	}
+	return t + tr.PeriodSec - tr.phase(t)
+}
+
+// DeviceProfile models one client's hardware heterogeneity: how much
+// slower than the nominal edge device it computes, and when it is
+// reachable at all.
+type DeviceProfile struct {
+	// SpeedFactor multiplies the client's modeled computation time:
+	// 1 is the nominal EdgeDeviceFlopsPerSecond device, 4 is 4× slower.
+	SpeedFactor float64
+	// Availability is the device's deterministic on/off trace; the zero
+	// value means always available.
+	Availability Trace
+}
+
+// Validate reports malformed profiles.
+func (p DeviceProfile) Validate() error {
+	if !(p.SpeedFactor > 0) || math.IsInf(p.SpeedFactor, 0) {
+		return fmt.Errorf("simclock: device speed factor %v must be a finite positive value", p.SpeedFactor)
+	}
+	return p.Availability.Validate()
+}
+
+// Seconds scales a nominal-device duration to this device.
+func (p DeviceProfile) Seconds(base float64) float64 { return base * p.SpeedFactor }
+
+// UniformFleet returns n nominal always-available devices — the implicit
+// fleet of the paper's synchronous experiments.
+func UniformFleet(n int) []DeviceProfile {
+	fleet := make([]DeviceProfile, n)
+	for i := range fleet {
+		fleet[i].SpeedFactor = 1
+	}
+	return fleet
+}
+
+// MildFleet returns n always-available devices with speed factors drawn
+// log-uniformly from [0.8, 2.5] — the moderate heterogeneity regime where
+// a synchronous server waits ~2–3× longer than the median client.
+func MildFleet(n int, seed uint64) []DeviceProfile {
+	r := rng.New(seed).Derive("fleet-mild", n)
+	fleet := make([]DeviceProfile, n)
+	lo, hi := 0.8, 2.5
+	for i := range fleet {
+		fleet[i].SpeedFactor = lo * math.Exp(r.Float64()*math.Log(hi/lo))
+	}
+	return fleet
+}
+
+// ExtremeFleet returns n devices of which one quarter are stragglers:
+// 4–8× slower than nominal and reachable only half the time, cycling
+// with a period of 20 nominal rounds. The rest draw speed factors from
+// [0.8, 1.5]. nominalRoundSec anchors the availability period to the
+// workload's modeled round duration.
+func ExtremeFleet(n int, nominalRoundSec float64, seed uint64) []DeviceProfile {
+	r := rng.New(seed).Derive("fleet-extreme", n)
+	fleet := make([]DeviceProfile, n)
+	period := 20 * nominalRoundSec
+	for i := range fleet {
+		if i%4 == 3 { // every fourth device is a straggler
+			fleet[i].SpeedFactor = 4 + 4*r.Float64()
+			fleet[i].Availability = Trace{
+				PeriodSec:  period,
+				OnFraction: 0.5,
+				OffsetSec:  r.Float64() * period,
+			}
+		} else {
+			fleet[i].SpeedFactor = 0.8 + 0.7*r.Float64()
+		}
+	}
+	return fleet
+}
+
+// FleetNames lists the named heterogeneity profiles accepted by
+// FleetByName, mildest first.
+func FleetNames() []string { return []string{"uniform", "mild", "extreme"} }
+
+// FleetByName constructs one of the named fleets. nominalRoundSec anchors
+// availability periods (only the extreme fleet uses it); seed drives the
+// deterministic speed draws.
+func FleetByName(name string, n int, nominalRoundSec float64, seed uint64) ([]DeviceProfile, error) {
+	switch name {
+	case "uniform":
+		return UniformFleet(n), nil
+	case "mild":
+		return MildFleet(n, seed), nil
+	case "extreme":
+		return ExtremeFleet(n, nominalRoundSec, seed), nil
+	default:
+		return nil, fmt.Errorf("simclock: unknown fleet %q (valid: %v)", name, FleetNames())
+	}
+}

@@ -1,0 +1,158 @@
+package simclock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceAlwaysAvailable(t *testing.T) {
+	var tr Trace // zero value
+	for _, at := range []float64{0, 1.5, 1e9} {
+		if !tr.Available(at) {
+			t.Fatalf("zero trace unavailable at %v", at)
+		}
+		if got := tr.NextAvailable(at); got != at {
+			t.Fatalf("NextAvailable(%v) = %v, want identity", at, got)
+		}
+	}
+}
+
+func TestTraceWindows(t *testing.T) {
+	tr := Trace{PeriodSec: 10, OnFraction: 0.3}
+	cases := []struct {
+		at        float64
+		available bool
+		next      float64
+	}{
+		{0, true, 0},
+		{2.9, true, 2.9},
+		{3, false, 10},
+		{9.9, false, 10},
+		{10, true, 10},
+		{12.9, true, 12.9},
+		{13, false, 20},
+	}
+	for _, c := range cases {
+		if got := tr.Available(c.at); got != c.available {
+			t.Fatalf("Available(%v) = %v, want %v", c.at, got, c.available)
+		}
+		if got := tr.NextAvailable(c.at); math.Abs(got-c.next) > 1e-9 {
+			t.Fatalf("NextAvailable(%v) = %v, want %v", c.at, got, c.next)
+		}
+	}
+}
+
+func TestTraceOffset(t *testing.T) {
+	tr := Trace{PeriodSec: 10, OnFraction: 0.5, OffsetSec: 4}
+	if !tr.Available(4) || !tr.Available(8.9) {
+		t.Fatal("offset window start misplaced")
+	}
+	if tr.Available(9) || tr.Available(13.9) {
+		t.Fatal("offset window end misplaced")
+	}
+	if got := tr.NextAvailable(9); math.Abs(got-14) > 1e-9 {
+		t.Fatalf("NextAvailable(9) = %v, want 14", got)
+	}
+	// Times before the first cycle origin still resolve.
+	if got := tr.NextAvailable(0); math.Abs(got-0) > 1e-9 && math.Abs(got-4) > 1e-9 {
+		t.Fatalf("NextAvailable(0) = %v", got)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := []Trace{
+		{PeriodSec: -1},
+		{PeriodSec: 5},                  // missing on-fraction
+		{PeriodSec: 5, OnFraction: 1.5}, // above one
+		{PeriodSec: math.NaN()},
+		{PeriodSec: 5, OnFraction: 0.5, OffsetSec: math.NaN()},
+		{PeriodSec: 5, OnFraction: 0.5, OffsetSec: math.Inf(1)},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("trace %+v accepted", tr)
+		}
+	}
+	good := []Trace{{}, {PeriodSec: 5, OnFraction: 0.5}, {PeriodSec: 5, OnFraction: 1}}
+	for _, tr := range good {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trace %+v rejected: %v", tr, err)
+		}
+	}
+}
+
+func TestDeviceProfileValidate(t *testing.T) {
+	for _, p := range []DeviceProfile{{}, {SpeedFactor: -1}, {SpeedFactor: math.Inf(1)}} {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("profile %+v accepted", p)
+		}
+	}
+	if err := (DeviceProfile{SpeedFactor: 2.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleets(t *testing.T) {
+	for _, name := range FleetNames() {
+		fleet, err := FleetByName(name, 20, 1.0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet) != 20 {
+			t.Fatalf("%s fleet has %d devices, want 20", name, len(fleet))
+		}
+		for i, p := range fleet {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s fleet device %d: %v", name, i, err)
+			}
+		}
+		// Deterministic for a fixed seed.
+		again, _ := FleetByName(name, 20, 1.0, 7)
+		for i := range fleet {
+			if fleet[i] != again[i] {
+				t.Fatalf("%s fleet not deterministic at device %d", name, i)
+			}
+		}
+	}
+	if _, err := FleetByName("nope", 5, 1.0, 1); err == nil {
+		t.Fatal("expected error for unknown fleet")
+	}
+}
+
+func TestFleetShapes(t *testing.T) {
+	uniform := UniformFleet(8)
+	for _, p := range uniform {
+		if p.SpeedFactor != 1 || p.Availability.PeriodSec != 0 {
+			t.Fatalf("uniform fleet not nominal: %+v", p)
+		}
+	}
+	mild := MildFleet(50, 3)
+	for _, p := range mild {
+		if p.SpeedFactor < 0.8 || p.SpeedFactor > 2.5 {
+			t.Fatalf("mild speed %v outside [0.8, 2.5]", p.SpeedFactor)
+		}
+		if p.Availability.PeriodSec != 0 {
+			t.Fatal("mild fleet must be always available")
+		}
+	}
+	extreme := ExtremeFleet(40, 2.0, 3)
+	stragglers := 0
+	for _, p := range extreme {
+		if p.SpeedFactor >= 4 {
+			stragglers++
+			if p.Availability.PeriodSec != 40 {
+				t.Fatalf("straggler availability period %v, want 20× nominal", p.Availability.PeriodSec)
+			}
+		}
+	}
+	if stragglers != 10 {
+		t.Fatalf("extreme fleet has %d stragglers of 40, want 10", stragglers)
+	}
+}
+
+func TestDeviceSeconds(t *testing.T) {
+	p := DeviceProfile{SpeedFactor: 3}
+	if got := p.Seconds(2); got != 6 {
+		t.Fatalf("Seconds(2) at 3× = %v, want 6", got)
+	}
+}
