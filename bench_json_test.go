@@ -1,0 +1,105 @@
+// Machine-readable benchmark results: every instrumented benchmark
+// (defer recordBench(b)() as its first statement) contributes one record,
+// and TestMain persists them to results/BENCH_results.json after the run,
+// so the perf trajectory of the substrate is tracked across PRs by diffing
+// a small JSON file instead of parsing -bench output.
+package taco_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// benchResult is one benchmark's record at its final (largest-N) round.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+var (
+	benchResMu sync.Mutex
+	benchRes   = map[string]benchResult{}
+)
+
+// recordBench captures a benchmark's timing and allocation rates. Use as
+// the benchmark's first statement:
+//
+//	defer recordBench(b)()
+//
+// The testing package re-invokes a benchmark body with growing b.N; each
+// invocation overwrites the previous record, so the persisted numbers are
+// the ones from the final, longest round (the same round `go test -bench`
+// reports). B/op and allocs/op are process-wide deltas — benchmarks run
+// sequentially, so the numbers include any setup before b.ResetTimer,
+// which makes them an upper bound rather than the timer-scoped figure.
+func recordBench(b *testing.B) func() {
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	return func() {
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		benchResMu.Lock()
+		defer benchResMu.Unlock()
+		benchRes[b.Name()] = benchResult{
+			Name:        b.Name(),
+			N:           b.N,
+			NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(b.N),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(b.N),
+		}
+	}
+}
+
+// benchResultsPath is committed (exempted from the results/ gitignore)
+// so the perf trajectory is diffable across PRs.
+const benchResultsPath = "results/BENCH_results.json"
+
+// flushBenchResults merges the collected records into benchResultsPath:
+// benchmarks that ran overwrite their previous record, the rest keep
+// theirs, so a filtered run (CI's smoke step) never discards the full
+// file. No-op when no benchmark ran (plain `go test`).
+func flushBenchResults() {
+	benchResMu.Lock()
+	defer benchResMu.Unlock()
+	if len(benchRes) == 0 {
+		return
+	}
+	merged := map[string]benchResult{}
+	if data, err := os.ReadFile(benchResultsPath); err == nil {
+		var prev []benchResult
+		if json.Unmarshal(data, &prev) == nil {
+			for _, r := range prev {
+				merged[r.Name] = r
+			}
+		}
+	}
+	for name, r := range benchRes {
+		merged[name] = r
+	}
+	out := make([]benchResult, 0, len(merged))
+	for _, r := range merged {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(benchResultsPath, append(data, '\n'), 0o644)
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	flushBenchResults()
+	os.Exit(code)
+}

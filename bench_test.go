@@ -58,6 +58,7 @@ func persistArtifact(id, rendered string) {
 // rendered artifact, and persists it under results/.
 func benchArtifact(b *testing.B, id string) {
 	b.Helper()
+	defer recordBench(b)()
 	for i := 0; i < b.N; i++ {
 		artifacts, err := experiments.Run(id, benchRunner())
 		if err != nil {
@@ -102,6 +103,10 @@ func BenchmarkFig7GammaSensitivity(b *testing.B) { benchArtifact(b, "fig7") }
 
 func BenchmarkStragglerStudy(b *testing.B) { benchArtifact(b, "straggler") }
 
+// BenchmarkScale1k runs the thousand-client Dirichlet study enabled by
+// the slot-pooled training substrate (DESIGN.md §5).
+func BenchmarkScale1k(b *testing.B) { benchArtifact(b, "scale1k") }
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkGradEval measures one mini-batch gradient evaluation per model
@@ -109,6 +114,7 @@ func BenchmarkStragglerStudy(b *testing.B) { benchArtifact(b, "straggler") }
 func BenchmarkGradEval(b *testing.B) {
 	for _, ds := range []string{"adult", "fmnist", "cifar100", "shakespeare"} {
 		b.Run(ds, func(b *testing.B) {
+			defer recordBench(b)()
 			net, err := dataset.Model(ds)
 			if err != nil {
 				b.Fatal(err)
@@ -165,6 +171,7 @@ func BenchmarkGEMM(b *testing.B) {
 		}
 		flops := float64(2 * s.m * s.k * s.n)
 		b.Run("Gemm/"+s.name, func(b *testing.B) {
+			defer recordBench(b)()
 			for i := 0; i < b.N; i++ {
 				vecmath.Gemm(c, a, bb, s.m, s.k, s.n, false)
 			}
@@ -183,6 +190,7 @@ func BenchmarkGEMM(b *testing.B) {
 		dy[i] = r.Normal(0, 1)
 	}
 	b.Run("GemmATB/dW-24x256x64", func(b *testing.B) {
+		defer recordBench(b)()
 		dw := make([]float64, k*n)
 		for i := 0; i < b.N; i++ {
 			vecmath.GemmATB(dw, x, dy, m, k, n, true)
@@ -190,6 +198,7 @@ func BenchmarkGEMM(b *testing.B) {
 		b.ReportMetric(float64(2*m*k*n)*float64(b.N)/b.Elapsed().Seconds(), "flops/s")
 	})
 	b.Run("GemmABT/dX-24x64x256", func(b *testing.B) {
+		defer recordBench(b)()
 		w := make([]float64, k*n)
 		dx := make([]float64, m*k)
 		for i := 0; i < b.N; i++ {
@@ -220,6 +229,7 @@ func BenchmarkIm2col(b *testing.B) {
 		}
 		dst := make([]float64, c.inC*c.k*c.k*outH*outW)
 		b.Run(c.name, func(b *testing.B) {
+			defer recordBench(b)()
 			for i := 0; i < b.N; i++ {
 				nn.Im2col(dst, x, c.inC, c.inH, c.inW, c.k, c.stride, c.pad, outH, outW)
 			}
@@ -230,6 +240,7 @@ func BenchmarkIm2col(b *testing.B) {
 
 // BenchmarkAXPY measures the hot vector kernel used by every correction.
 func BenchmarkAXPY(b *testing.B) {
+	defer recordBench(b)()
 	x := make([]float64, 4096)
 	y := make([]float64, 4096)
 	for i := range x {
@@ -243,6 +254,7 @@ func BenchmarkAXPY(b *testing.B) {
 
 // BenchmarkCosineSimilarity measures the Eq. (7) direction factor.
 func BenchmarkCosineSimilarity(b *testing.B) {
+	defer recordBench(b)()
 	r := rng.New(3)
 	x := make([]float64, 4096)
 	y := make([]float64, 4096)
@@ -258,6 +270,7 @@ func BenchmarkCosineSimilarity(b *testing.B) {
 
 // BenchmarkDirichletPartition measures the non-IID partitioner.
 func BenchmarkDirichletPartition(b *testing.B) {
+	defer recordBench(b)()
 	train, _, err := dataset.Standard("mnist", dataset.ScaleSmall, 1)
 	if err != nil {
 		b.Fatal(err)

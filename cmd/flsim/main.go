@@ -6,12 +6,15 @@
 //	flsim -dataset fmnist -alg TACO -clients 20 -rounds 25 -k 10 -lr 0.05
 //	flsim -dataset adult -alg Scaffold -partition dir -phi 0.1
 //	flsim -dataset fmnist -alg TACO -freeloaders 8 -detect
+//	flsim -dataset adult -alg TACO -clients 1000 -partition dir -phi 0.3 -memprofile heap.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -53,8 +56,37 @@ func run() error {
 		deadlineSec = flag.Float64("deadline", 0, "deadline policy: modeled seconds per round (0 = 1.5× the nominal modeled round)")
 		buffer      = flag.Int("buffer", 0, "async policy: buffered updates per server step (0 = clients/4, min 1)")
 		hetero      = flag.String("hetero", "uniform", "device fleet: "+strings.Join(simclock.FleetNames(), "|"))
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			// Collect first so the profile reflects live (retained) memory
+			// — the slot-pool footprint — rather than GC garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "flsim: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	scale := dataset.ScaleSmall
 	if *scaleName == "full" {

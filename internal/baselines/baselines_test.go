@@ -132,19 +132,22 @@ func TestScaffoldControlVariateUpdate(t *testing.T) {
 		Cfg: fl.Config{Rounds: 1, LocalSteps: 2, BatchSize: 1, LocalLR: 0.5, Seed: 1}})
 	// c and c_i start at zero, so the round's correction is zero.
 	alg.BeginLocal(0, 0, nil)
-	grad := []float64{1, 1}
-	alg.GradAdjust(&fl.StepCtx{Client: 0, Grad: grad})
-	if grad[0] != 1 || grad[1] != 1 {
-		t.Fatalf("initial correction must be zero, grad = %v", grad)
+	ctx := &fl.StepCtx{Client: 0, Grad: []float64{1, 1}}
+	alg.GradAdjust(ctx)
+	coeff, corr := ctx.Correction()
+	if coeff != 1 || corr[0] != 0 || corr[1] != 0 {
+		t.Fatalf("initial correction must be zero, got %v·%v", coeff, corr)
 	}
 	// After a local round with delta d: c_0 = 0 − 0 + d/(K·ηl) = d.
 	alg.EndLocal(0, 0, []float64{2, 0})
-	grad = []float64{0, 0}
 	alg.BeginLocal(0, 1, nil)
-	alg.GradAdjust(&fl.StepCtx{Client: 0, Grad: grad})
-	// Correction is α(c − c_0) = 1·(0 − [2,0]/(2·0.5)) = [−2, 0].
-	if grad[0] != -2 || grad[1] != 0 {
-		t.Fatalf("correction = %v, want [-2 0]", grad)
+	ctx = &fl.StepCtx{Client: 0, Grad: []float64{0, 0}}
+	alg.GradAdjust(ctx)
+	// Correction is α(c − c_0) = 1·(0 − [2,0]/(2·0.5)) = [−2, 0],
+	// registered for the engine's fused corrected step.
+	coeff, corr = ctx.Correction()
+	if coeff != 1 || corr[0] != -2 || corr[1] != 0 {
+		t.Fatalf("correction = %v·%v, want 1·[-2 0]", coeff, corr)
 	}
 }
 

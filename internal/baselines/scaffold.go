@@ -18,10 +18,11 @@ type Scaffold struct {
 	Alpha float64
 
 	c    []float64   // server control variate
-	ci   [][]float64 // per-client control variates
+	ci   [][]float64 // per-client control variates, allocated lazily
 	corr [][]float64 // per-client α(c − c_i), fixed during a round
 	k    int         // local steps, for the c_i refresh
 	lr   float64     // ηl
+	d    int         // NumParams, for lazy per-client allocation
 }
 
 // NewScaffold returns Scaffold with correction strength alpha.
@@ -32,31 +33,41 @@ var _ fl.Algorithm = (*Scaffold)(nil)
 // Name implements fl.Algorithm.
 func (a *Scaffold) Name() string { return "Scaffold" }
 
-// Setup implements fl.Algorithm.
+// Setup implements fl.Algorithm. Per-client state is allocated lazily on
+// first participation (BeginLocal), so a large fleet with partial
+// participation pays O(d) only for clients that actually train.
 func (a *Scaffold) Setup(env *fl.Env) {
 	a.c = make([]float64, env.NumParams)
 	a.ci = make([][]float64, env.NumClients)
 	a.corr = make([][]float64, env.NumClients)
-	for i := range a.ci {
-		a.ci[i] = make([]float64, env.NumParams)
-		a.corr[i] = make([]float64, env.NumParams)
-	}
 	a.k = env.Cfg.LocalSteps
 	a.lr = env.Cfg.LocalLR
+	a.d = env.NumParams
+}
+
+// state returns client i's lazily allocated (c_i, correction) pair.
+// BeginLocal runs concurrently for different clients, but each client's
+// slot in the outer slices is touched by one goroutine only.
+func (a *Scaffold) state(clientID int) (ci, corr []float64) {
+	if a.ci[clientID] == nil {
+		a.ci[clientID] = make([]float64, a.d)
+		a.corr[clientID] = make([]float64, a.d)
+	}
+	return a.ci[clientID], a.corr[clientID]
 }
 
 // BeginLocal freezes the round's correction α(c − c_i) for client i.
 func (a *Scaffold) BeginLocal(clientID, _ int, _ []float64) {
-	corr := a.corr[clientID]
-	ci := a.ci[clientID]
+	ci, corr := a.state(clientID)
 	for j := range corr {
 		corr[j] = a.Alpha * (a.c[j] - ci[j])
 	}
 }
 
-// GradAdjust adds the control-variate correction to the step gradient.
+// GradAdjust registers the control-variate correction for the fused
+// corrected step w ← w − ηl·(g + α(c − c_i)).
 func (a *Scaffold) GradAdjust(ctx *fl.StepCtx) {
-	vecmath.AXPY(1, a.corr[ctx.Client], ctx.Grad)
+	ctx.FuseCorrection(1, a.corr[ctx.Client])
 }
 
 // EndLocal refreshes c_i with the paper's rule
@@ -77,7 +88,11 @@ func (a *Scaffold) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	fl.FedAvgStep(s, updates)
 	vecmath.Zero(a.c)
 	for _, u := range updates {
-		vecmath.AXPY(1/float64(len(updates)), a.ci[u.Client], a.c)
+		// Clients that never trained (freeloaders) have no control
+		// variate yet; their contribution is the zero vector.
+		if ci := a.ci[u.Client]; ci != nil {
+			vecmath.AXPY(1/float64(len(updates)), ci, a.c)
+		}
 	}
 }
 

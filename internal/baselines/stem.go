@@ -20,11 +20,12 @@ type STEM struct {
 	// AlphaT is the uniform momentum coefficient α_t (paper default 0.2).
 	AlphaT float64
 
-	v     [][]float64 // per-client momentum, persists across rounds
+	v     [][]float64 // per-client momentum, persists across rounds, lazy
 	wPrev [][]float64 // per-client previous local iterate within a round
 	k     int
 	lr    float64
 	n     int
+	d     int // NumParams, for lazy per-client allocation
 }
 
 // NewSTEM returns STEM with momentum coefficient alphaT.
@@ -35,22 +36,26 @@ var _ fl.Algorithm = (*STEM)(nil)
 // Name implements fl.Algorithm.
 func (a *STEM) Name() string { return "STEM" }
 
-// Setup implements fl.Algorithm.
+// Setup implements fl.Algorithm. Per-client momentum is allocated lazily
+// on first participation (BeginLocal), so a large fleet with partial
+// participation pays O(d) only for clients that actually train.
 func (a *STEM) Setup(env *fl.Env) {
 	a.v = make([][]float64, env.NumClients)
 	a.wPrev = make([][]float64, env.NumClients)
-	for i := range a.v {
-		a.v[i] = make([]float64, env.NumParams)
-		a.wPrev[i] = make([]float64, env.NumParams)
-	}
 	a.k = env.Cfg.LocalSteps
 	a.lr = env.Cfg.LocalLR
 	a.n = env.NumClients
+	a.d = env.NumParams
 }
 
 // BeginLocal seeds the round's previous iterate with w_{i,0}, so the first
-// step's correction term vanishes (∇f at the same point cancels g).
+// step's correction term vanishes (∇f at the same point cancels g),
+// allocating the client's momentum state on first participation.
 func (a *STEM) BeginLocal(clientID, _ int, w0 []float64) {
+	if a.v[clientID] == nil {
+		a.v[clientID] = make([]float64, a.d)
+		a.wPrev[clientID] = make([]float64, a.d)
+	}
 	copy(a.wPrev[clientID], w0)
 }
 
@@ -94,7 +99,11 @@ func (a *STEM) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	for _, u := range updates {
 		scale := s.GlobalLR() * fl.StalenessDamp(u.Staleness) / (float64(a.k) * dampSum * a.lr)
 		vecmath.AXPY(-scale, u.Delta, s.W)
-		vecmath.AXPY(-scale, a.v[u.Client], s.W)
+		// Clients that never trained (freeloaders) have no momentum yet;
+		// their contribution is the zero vector.
+		if v := a.v[u.Client]; v != nil {
+			vecmath.AXPY(-scale, v, s.W)
+		}
 	}
 }
 

@@ -25,13 +25,18 @@ import (
 // disproportionately large in magnitude get a small α — and therefore a
 // large correction factor 1−α in Eq. (8).
 func ComputeAlphas(deltas [][]float64, mean []float64, out []float64) {
+	computeAlphas(deltas, mean, make([]float64, len(deltas)), out)
+}
+
+// computeAlphas is ComputeAlphas with a caller-provided norms scratch
+// (len(deltas)), so per-round coefficient updates allocate nothing.
+func computeAlphas(deltas [][]float64, mean, norms, out []float64) {
 	n := len(deltas)
 	if n == 0 {
 		return
 	}
 	vecmath.Zero(mean)
 	var normSum float64
-	norms := make([]float64, n)
 	for i, d := range deltas {
 		vecmath.AXPY(1/float64(n), d, mean)
 		norms[i] = vecmath.Norm2Safe(d)
@@ -60,6 +65,8 @@ type AlphaTracker struct {
 	history [][]float64
 	mean    []float64
 	scratch []float64
+	deltas  [][]float64 // reusable per-round view of the uploads
+	norms   []float64   // reusable computeAlphas scratch
 }
 
 // NewAlphaTracker creates a tracker for n clients of a numParams-sized
@@ -81,12 +88,19 @@ func NewAlphaTracker(n, numParams int, initial float64) *AlphaTracker {
 // the fresh estimate with the previous round's value: α ← s·α_old +
 // (1−s)·α_new. 0 reproduces the paper's memoryless rule.
 func (t *AlphaTracker) Update(updates []fl.Update, smoothing float64) {
-	deltas := make([][]float64, len(updates))
+	if cap(t.deltas) < len(updates) {
+		t.deltas = make([][]float64, len(updates))
+		t.norms = make([]float64, len(updates))
+	}
+	deltas := t.deltas[:len(updates)]
 	for i, u := range updates {
 		deltas[i] = u.Delta
 	}
 	out := t.scratch[:len(updates)]
-	ComputeAlphas(deltas, t.mean, out)
+	computeAlphas(deltas, t.mean, t.norms[:len(updates)], out)
+	for i := range deltas {
+		deltas[i] = nil // drop the borrowed ring buffers
+	}
 	for i, u := range updates {
 		t.alphas[u.Client] = smoothing*t.alphas[u.Client] + (1-smoothing)*out[i]
 	}

@@ -68,10 +68,11 @@ type ScaffoldTACO struct {
 	tracker *AlphaTracker
 	mean    float64
 	c       []float64
-	ci      [][]float64
+	ci      [][]float64 // per-client control variates, allocated lazily
 	corr    [][]float64
 	k       int
 	lr      float64
+	d       int
 }
 
 // NewScaffoldTACO returns the Scaffold(TACO) hybrid of Fig. 6b.
@@ -82,23 +83,27 @@ var _ fl.Algorithm = (*ScaffoldTACO)(nil)
 // Name implements fl.Algorithm.
 func (a *ScaffoldTACO) Name() string { return "Scaffold(TACO)" }
 
-// Setup implements fl.Algorithm.
+// Setup implements fl.Algorithm. Per-client state is allocated lazily on
+// first participation, so a large fleet with partial participation pays
+// O(d) only for clients that actually train.
 func (a *ScaffoldTACO) Setup(env *fl.Env) {
 	a.tracker = NewAlphaTracker(env.NumClients, env.NumParams, 0.1)
 	a.mean = 0.1
 	a.c = make([]float64, env.NumParams)
 	a.ci = make([][]float64, env.NumClients)
 	a.corr = make([][]float64, env.NumClients)
-	for i := range a.ci {
-		a.ci[i] = make([]float64, env.NumParams)
-		a.corr[i] = make([]float64, env.NumParams)
-	}
 	a.k = env.Cfg.LocalSteps
 	a.lr = env.Cfg.LocalLR
+	a.d = env.NumParams
 }
 
-// BeginLocal freezes the tailored correction (1−α_i)(c − c_i).
+// BeginLocal freezes the tailored correction (1−α_i)(c − c_i), allocating
+// the client's state on first participation.
 func (a *ScaffoldTACO) BeginLocal(clientID, _ int, _ []float64) {
+	if a.ci[clientID] == nil {
+		a.ci[clientID] = make([]float64, a.d)
+		a.corr[clientID] = make([]float64, a.d)
+	}
 	coeff := 1 - a.tracker.Alpha(clientID)
 	corr := a.corr[clientID]
 	ci := a.ci[clientID]
@@ -107,9 +112,9 @@ func (a *ScaffoldTACO) BeginLocal(clientID, _ int, _ []float64) {
 	}
 }
 
-// GradAdjust implements fl.Algorithm.
+// GradAdjust registers the frozen correction for the fused step.
 func (a *ScaffoldTACO) GradAdjust(ctx *fl.StepCtx) {
-	vecmath.AXPY(1, a.corr[ctx.Client], ctx.Grad)
+	ctx.FuseCorrection(1, a.corr[ctx.Client])
 }
 
 // EndLocal refreshes c_i exactly as Scaffold does.
@@ -129,7 +134,11 @@ func (a *ScaffoldTACO) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	fl.FedAvgStep(s, updates)
 	vecmath.Zero(a.c)
 	for _, u := range updates {
-		vecmath.AXPY(1/float64(len(updates)), a.ci[u.Client], a.c)
+		// Clients that never trained (freeloaders) have no control
+		// variate yet; their contribution is the zero vector.
+		if ci := a.ci[u.Client]; ci != nil {
+			vecmath.AXPY(1/float64(len(updates)), ci, a.c)
+		}
 	}
 }
 

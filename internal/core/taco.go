@@ -111,16 +111,17 @@ func (a *TACO) Setup(env *fl.Env) {
 	a.mean = a.cfg.InitialAlpha
 }
 
-// GradAdjust applies Eq. (8): g ← g + γ(1−α_i^t)·∆^t. The shared vector
-// ∆^t is read-only during the round, so concurrent clients only differ in
-// their scalar coefficient.
+// GradAdjust applies Eq. (8): g ← g + γ(1−α_i^t)·∆^t, registered as a
+// fused correction so the engine folds it into the SGD step in a single
+// pass over d. The shared vector ∆^t is read-only during the round, so
+// concurrent clients only differ in their scalar coefficient.
 func (a *TACO) GradAdjust(ctx *fl.StepCtx) {
 	if a.cfg.DisableTailoredCorrection {
 		return
 	}
 	coeff := a.cfg.Gamma * (1 - a.tracker.Alpha(ctx.Client))
 	if coeff != 0 {
-		vecmath.AXPY(coeff, a.corr, ctx.Grad)
+		ctx.FuseCorrection(coeff, a.corr)
 	}
 }
 

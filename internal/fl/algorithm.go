@@ -47,6 +47,31 @@ type StepCtx struct {
 	Eng *nn.Engine
 	// Scratch is a NumParams-sized scratch vector owned by the client.
 	Scratch []float64
+
+	// fuseCoeff and fuseVec hold a correction registered by
+	// FuseCorrection for the engine to fold into the SGD step.
+	fuseCoeff float64
+	fuseVec   []float64
+}
+
+// FuseCorrection registers the additive correction coeff·corr for this
+// step: instead of the algorithm mutating Grad (one full pass over d) and
+// the engine then applying the step (a second pass), the engine performs
+// the corrected step w ← w − ηl·(g + coeff·corr) in a single fused pass
+// (vecmath.AXPYPY). corr must stay valid until the step completes and is
+// read-only; Grad keeps the raw mini-batch gradient, so algorithms that
+// need the adjusted gradient materialized (STEM's momentum recursion)
+// should keep mutating Grad instead. The registration is consumed by the
+// step; call it again on the next step to keep the correction applied.
+func (c *StepCtx) FuseCorrection(coeff float64, corr []float64) {
+	c.fuseCoeff, c.fuseVec = coeff, corr
+}
+
+// Correction returns the fused correction registered for this step (nil
+// vector when the algorithm mutated Grad directly instead). Diagnostic
+// accessor for tests; the engine consumes the registration itself.
+func (c *StepCtx) Correction() (coeff float64, corr []float64) {
+	return c.fuseCoeff, c.fuseVec
 }
 
 // Update is one client's upload for a round: the accumulated local
@@ -86,6 +111,7 @@ type ServerCtx struct {
 	Active []bool
 
 	expelled []int
+	weights  []float64
 }
 
 // Expel schedules a client's removal from all future rounds (TACO's
@@ -96,6 +122,19 @@ func (s *ServerCtx) Expel(client int) {
 
 // GlobalLR returns ηg with the paper's K·ηl default applied.
 func (s *ServerCtx) GlobalLR() float64 { return s.Env.Cfg.globalLR() }
+
+// AggregationWeights returns the Eq. (6) weights over the updates (see
+// the package-level AggregationWeights for the rule), backed by a scratch
+// buffer owned by the context so steady-state aggregation allocates
+// nothing. The slice is valid until the next call on this context.
+func (s *ServerCtx) AggregationWeights(updates []Update) []float64 {
+	if cap(s.weights) < len(updates) {
+		s.weights = make([]float64, len(updates))
+	}
+	w := s.weights[:len(updates)]
+	aggregationWeightsInto(w, updates, s.Env.Cfg.WeightByData)
+	return w
+}
 
 // Algorithm is the hook set an FL method implements. Hooks prefixed
 // "Local" run concurrently for different clients: implementations must
@@ -173,6 +212,13 @@ func StalenessDamp(staleness int) float64 {
 // the legacy weights are returned bit-identically.
 func AggregationWeights(updates []Update, weightByData bool) []float64 {
 	weights := make([]float64, len(updates))
+	aggregationWeightsInto(weights, updates, weightByData)
+	return weights
+}
+
+// aggregationWeightsInto computes AggregationWeights into the caller's
+// buffer (len(weights) == len(updates)).
+func aggregationWeightsInto(weights []float64, updates []Update, weightByData bool) {
 	if weightByData {
 		total := 0
 		for _, u := range updates {
@@ -194,7 +240,7 @@ func AggregationWeights(updates []Update, weightByData bool) []float64 {
 		}
 	}
 	if !anyStale {
-		return weights
+		return
 	}
 	var sum float64
 	for i, u := range updates {
@@ -204,14 +250,13 @@ func AggregationWeights(updates []Update, weightByData bool) []float64 {
 	for i := range weights {
 		weights[i] /= sum
 	}
-	return weights
 }
 
 // FedAvgStep applies the vanilla aggregation of Eq. (6) with ∆^{t+1} =
 // Σ p_i ∆_i / (K·ηl): with the default ηg = K·ηl the global model moves by
 // the weighted mean client delta. Shared by FedAvg, FedProx, and Scaffold.
 func FedAvgStep(s *ServerCtx, updates []Update) {
-	weights := AggregationWeights(updates, s.Env.Cfg.WeightByData)
+	weights := s.AggregationWeights(updates)
 	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
 	for i, u := range updates {
 		vecmath.AXPY(-weights[i]*scale, u.Delta, s.W)

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/vecmath"
@@ -92,14 +93,27 @@ func TestFreeloaderSetValidation(t *testing.T) {
 func TestMeanLossSkipsFreeloaders(t *testing.T) {
 	updates := []Update{
 		{TrainLoss: 2},
-		{TrainLoss: 0}, // freeloaders report 0
+		{TrainLoss: math.NaN()}, // freeloaders report NaN ("no loss")
 		{TrainLoss: 4},
 	}
 	if got := meanLoss(updates); got != 3 {
 		t.Fatalf("meanLoss = %v, want 3", got)
 	}
+	// An honest client whose true mean loss is exactly 0 still counts
+	// (the old 0 sentinel silently excluded it).
+	updates = []Update{
+		{TrainLoss: 0},
+		{TrainLoss: math.NaN()},
+		{TrainLoss: 4},
+	}
+	if got := meanLoss(updates); got != 2 {
+		t.Fatalf("meanLoss with honest zero loss = %v, want 2", got)
+	}
 	if got := meanLoss(nil); got != 0 {
 		t.Fatalf("meanLoss(nil) = %v", got)
+	}
+	if got := meanLoss([]Update{{TrainLoss: math.NaN()}}); got != 0 {
+		t.Fatalf("meanLoss of freeloaders only = %v, want 0", got)
 	}
 }
 

@@ -2,9 +2,8 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"sort"
-	"sync"
-	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/metrics"
@@ -24,18 +23,16 @@ type Result struct {
 	Expelled map[int]int
 }
 
-// client is the engine's per-client state.
+// client is the engine's per-client identity state: the data shard, the
+// client's deterministic sampling stream, and its last reported loss.
+// Training resources (engine, parameter buffers) live in the slot pool
+// (pool.go), so a client costs O(1) model-sized memory when idle.
 type client struct {
-	id      int
-	data    *dataset.Dataset
-	sampler *dataset.Sampler
-	eng     *nn.Engine
-	// Buffers reused across rounds.
-	w0, w, delta, grad, scratch []float64
-	batchX                      []float64
-	batchY                      []int
-	lastLoss                    float64
-	freeloader                  bool
+	id         int
+	data       *dataset.Dataset
+	sampler    *dataset.Sampler
+	lastLoss   float64
+	freeloader bool
 }
 
 // Run trains net with the given algorithm over the client shards and
@@ -43,6 +40,36 @@ type client struct {
 // deterministic for a fixed Config.Seed at any parallelism level under
 // every aggregation policy (DESIGN.md §4).
 func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*Result, error) {
+	s, err := newScheduler(cfg, alg, net, shards, test)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.close()
+
+	switch cfg.Policy {
+	case PolicyDeadline:
+		err = s.runDeadline()
+	case PolicyAsync:
+		err = s.runAsync()
+	default:
+		err = s.runSync()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Run:         s.run,
+		FinalParams: vecmath.Clone(alg.FinalModel(s.params)),
+		Expelled:    s.expelled,
+	}, nil
+}
+
+// newScheduler validates the configuration and builds the run state: the
+// client identities, the slot pool, and the scheduler's reusable
+// per-round buffers (sized once here so steady-state rounds allocate
+// nothing; see the alloc regression tests).
+func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,24 +95,14 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 	root := rng.New(cfg.Seed)
 	params := net.InitParams(root.Derive("init", 0))
 	numParams := net.NumParams()
-	inSize := net.InShape().Size()
 
 	clients := make([]*client, n)
 	dataSizes := make([]int, n)
 	for i, shard := range shards {
 		clients[i] = &client{
-			id:      i,
-			data:    shard,
-			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
-			eng:     nn.NewEngine(net, cfg.BatchSize),
-			w0:      make([]float64, numParams),
-			w:       make([]float64, numParams),
-			delta:   make([]float64, numParams),
-			grad:    make([]float64, numParams),
-			scratch: make([]float64, numParams),
-			batchX:  make([]float64, cfg.BatchSize*inSize),
-			batchY:  make([]int, cfg.BatchSize),
-
+			id:         i,
+			data:       shard,
+			sampler:    dataset.NewSampler(shard, root.Derive("sampler", i)),
 			freeloader: freeloaders[i],
 		}
 		dataSizes[i] = shard.Len()
@@ -111,6 +128,7 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 		alg:       alg,
 		clients:   clients,
 		env:       env,
+		pool:      newSlotPool(net, cfg, n),
 		params:    params,
 		wPrev:     vecmath.Clone(params),
 		active:    active,
@@ -120,92 +138,52 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 		test:      test,
 		baseRound: simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs()),
 		partRNG:   root.Derive("participation", 0),
+		ids:       make([]int, 0, n),
+		include:   make([]int, 0, n),
+		updates:   make([]Update, n),
+		measured:  make([]float64, n),
 	}
-
-	var err error
-	switch cfg.Policy {
-	case PolicyDeadline:
-		err = s.runDeadline()
-	case PolicyAsync:
-		err = s.runAsync()
-	default:
-		err = s.runSync()
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	return &Result{
-		Run:         s.run,
-		FinalParams: vecmath.Clone(alg.FinalModel(params)),
-		Expelled:    s.expelled,
-	}, nil
-}
-
-// runLocalRounds executes the round's local updates for the given client
-// IDs with a bounded worker pool, writing each client's Update and
-// measured seconds into the slot matching its position in ids.
-func runLocalRounds(cfg Config, alg Algorithm, clients []*client, ids []int, round int, global, prevGlobal []float64, updates []Update, measured []float64) {
-	workers := min(cfg.parallelism(), len(ids))
-	var wg sync.WaitGroup
-	jobs := make(chan int) // index into ids
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				id := ids[j]
-				start := time.Now()
-				if clients[id].freeloader {
-					freeloaderUpdate(cfg, clients[id], round, global, prevGlobal)
-				} else {
-					localUpdate(cfg, alg, clients[id], round, global)
-				}
-				measured[j] = time.Since(start).Seconds()
-				c := clients[id]
-				updates[j] = Update{
-					Client:     id,
-					Delta:      c.delta,
-					NumSamples: c.data.Len(),
-					TrainLoss:  c.lastLoss,
-				}
-			}
-		}()
-	}
-	for j := range ids {
-		jobs <- j
-	}
-	close(jobs)
-	wg.Wait()
+	s.run.Rounds = make([]metrics.Round, 0, cfg.Rounds)
+	s.server = ServerCtx{Env: env, Active: active}
+	return s, nil
 }
 
 // localUpdate runs the K-step local loop of Eq. (4) with the algorithm's
-// corrections applied, producing Δ_i = w_{i,0} − w_{i,K} (Eq. (5)).
-func localUpdate(cfg Config, alg Algorithm, c *client, round int, global []float64) {
-	alg.LocalInit(c.id, round, global, c.w0)
-	alg.BeginLocal(c.id, round, c.w0)
-	copy(c.w, c.w0)
-	ctx := StepCtx{
+// corrections applied, producing Δ_i = w_{i,0} − w_{i,K} (Eq. (5)) in the
+// caller-provided delta buffer. All model-sized scratch comes from the
+// slot; the step itself is fused when the algorithm registers its
+// correction via StepCtx.FuseCorrection (one pass over d instead of two).
+func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float64, round int, global []float64) {
+	alg.LocalInit(c.id, round, global, sl.w0)
+	alg.BeginLocal(c.id, round, sl.w0)
+	copy(sl.w, sl.w0)
+	ctx := &sl.ctx
+	*ctx = StepCtx{
 		Client:  c.id,
 		Round:   round,
-		W:       c.w,
-		W0:      c.w0,
-		Grad:    c.grad,
-		BatchX:  c.batchX,
-		BatchY:  c.batchY,
-		Eng:     c.eng,
-		Scratch: c.scratch,
+		W:       sl.w,
+		W0:      sl.w0,
+		Grad:    sl.grad,
+		BatchX:  sl.batchX,
+		BatchY:  sl.batchY,
+		Eng:     sl.eng,
+		Scratch: sl.scratch,
 	}
 	var lossSum float64
 	for k := 0; k < cfg.LocalSteps; k++ {
-		c.sampler.Batch(c.batchX, c.batchY)
-		lossSum += c.eng.Gradient(c.w, c.batchX, c.batchY, c.grad)
+		c.sampler.Batch(sl.batchX, sl.batchY)
+		lossSum += sl.eng.Gradient(sl.w, sl.batchX, sl.batchY, sl.grad)
 		ctx.Step = k
-		alg.GradAdjust(&ctx)
-		vecmath.AXPY(-cfg.LocalLR, c.grad, c.w)
+		alg.GradAdjust(ctx)
+		if ctx.fuseVec != nil {
+			vecmath.AXPYPY(-cfg.LocalLR, sl.grad, -cfg.LocalLR*ctx.fuseCoeff, ctx.fuseVec, sl.w)
+			ctx.fuseVec = nil
+		} else {
+			vecmath.AXPY(-cfg.LocalLR, sl.grad, sl.w)
+		}
 	}
-	vecmath.Sub(c.delta, c.w0, c.w)
-	alg.EndLocal(c.id, round, c.delta)
+	vecmath.Sub(delta, sl.w0, sl.w)
+	alg.EndLocal(c.id, round, delta)
 	c.lastLoss = lossSum / float64(cfg.LocalSteps)
 }
 
@@ -213,31 +191,32 @@ func localUpdate(cfg Config, alg Algorithm, c *client, round int, global []float
 // previous global update rescaled to look like an honest local delta
 // (Section IV-A: freeloaders "only upload previous global gradients ∆t
 // received without contributing any new local updates"). In round 0 there
-// is no previous gradient, so the freeloader uploads zeros.
-func freeloaderUpdate(cfg Config, c *client, round int, global, prevGlobal []float64) {
+// is no previous gradient, so the freeloader uploads zeros. A freeloader
+// reports no training loss (NaN sentinel; see meanLoss).
+func freeloaderUpdate(cfg *Config, c *client, delta []float64, round int, global, prevGlobal []float64) {
 	if round == 0 {
-		vecmath.Zero(c.delta)
+		vecmath.Zero(delta)
 	} else {
 		// w^t = w^{t−1} − ηg·∆^t  ⇒  ∆^t = (w^{t−1} − w^t)/ηg. An honest
 		// delta has magnitude ≈ K·ηl·∆, so replay with that scale.
 		scale := float64(cfg.LocalSteps) * cfg.LocalLR / cfg.globalLR()
-		vecmath.Sub(c.delta, prevGlobal, global)
-		vecmath.Scale(scale, c.delta)
+		vecmath.SubScale(delta, scale, prevGlobal, global)
 	}
-	c.lastLoss = 0
+	c.lastLoss = math.NaN()
 }
 
+// meanLoss averages the honest participants' training losses. Clients
+// that did no training (freeloaders) report NaN, which keeps an honest
+// client whose true mean loss happens to be exactly 0 in the average.
 func meanLoss(updates []Update) float64 {
-	if len(updates) == 0 {
-		return 0
-	}
 	var sum float64
 	cnt := 0
 	for _, u := range updates {
-		if u.TrainLoss != 0 {
-			sum += u.TrainLoss
-			cnt++
+		if math.IsNaN(u.TrainLoss) {
+			continue
 		}
+		sum += u.TrainLoss
+		cnt++
 	}
 	if cnt == 0 {
 		return 0

@@ -27,29 +27,25 @@ func referenceRun(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 	root := rng.New(cfg.Seed)
 	params := net.InitParams(root.Derive("init", 0))
 	numParams := net.NumParams()
-	inSize := net.InShape().Size()
 	freeloaders := cfg.freeloaderSet()
 
 	clients := make([]*client, n)
 	dataSizes := make([]int, n)
 	for i, shard := range shards {
 		clients[i] = &client{
-			id:      i,
-			data:    shard,
-			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
-			eng:     nn.NewEngine(net, cfg.BatchSize),
-			w0:      make([]float64, numParams),
-			w:       make([]float64, numParams),
-			delta:   make([]float64, numParams),
-			grad:    make([]float64, numParams),
-			scratch: make([]float64, numParams),
-			batchX:  make([]float64, cfg.BatchSize*inSize),
-			batchY:  make([]int, cfg.BatchSize),
-
+			id:         i,
+			data:       shard,
+			sampler:    dataset.NewSampler(shard, root.Derive("sampler", i)),
 			freeloader: freeloaders[i],
 		}
 		dataSizes[i] = shard.Len()
 	}
+	// The reference loop predates the slot pool; per-client resources are
+	// now pooled, but the local-update arithmetic and ordering it pins are
+	// unchanged (runRound fills updates[j] for ids[j] exactly as the old
+	// per-client engines did).
+	pool := newSlotPool(net, cfg, n)
+	defer pool.close()
 
 	env := &Env{
 		Net:        net,
@@ -95,7 +91,7 @@ func referenceRun(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 
 		updates := make([]Update, len(ids))
 		measured := make([]float64, len(ids))
-		runLocalRounds(cfg, alg, clients, ids, t, params, wPrev, updates, measured)
+		pool.runRound(&cfg, alg, clients, ids, t, params, wPrev, updates, measured)
 
 		var slowestMeasured float64
 		anyHonest := false

@@ -1,0 +1,164 @@
+package fl
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+)
+
+// slot bundles the training resources one in-flight local round needs: an
+// execution engine (activation/gradient arenas sized for the batch) plus
+// the w0/w/grad/scratch parameter buffers and the mini-batch staging
+// buffers. Slots carry no client identity — every buffer is fully
+// overwritten by each local round, so which slot serves which client is
+// invisible in the results (the P=1-vs-P=8 bit-identity tests pin this).
+type slot struct {
+	eng                  *nn.Engine
+	w0, w, grad, scratch []float64
+	batchX               []float64
+	batchY               []int
+	// ctx is the slot's reusable StepCtx, so dispatching a local round
+	// does not allocate (the interface call to GradAdjust would otherwise
+	// force a fresh StepCtx to escape every round).
+	ctx StepCtx
+}
+
+// roundTask is the work description shared by every job of one
+// runLocalRounds call. It lives inside the pool so submitting a round
+// writes plain struct fields instead of allocating a closure per round.
+type roundTask struct {
+	cfg        *Config
+	alg        Algorithm
+	clients    []*client
+	ids        []int
+	round      int
+	global     []float64
+	prevGlobal []float64
+	updates    []Update
+	measured   []float64
+}
+
+// run executes job j (the j-th client of the round) on the worker's slot.
+func (t *roundTask) run(j int, sl *slot) {
+	c := t.clients[t.ids[j]]
+	start := time.Now()
+	if c.freeloader {
+		freeloaderUpdate(t.cfg, c, t.updates[j].Delta, t.round, t.global, t.prevGlobal)
+	} else {
+		localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global)
+	}
+	t.measured[j] = time.Since(start).Seconds()
+	t.updates[j].TrainLoss = c.lastLoss
+}
+
+// slotPool decouples per-client identity from per-client training
+// resources. Exactly P = min(Parallelism, clients) slots exist, each
+// pinned to one long-lived worker goroutine, so a run's training memory
+// is O(P·d) for the heavy state instead of O(n·d): a thousand-client
+// fleet no longer owns a thousand engines (DESIGN.md §5).
+//
+// The pool also owns the delta ring: uploads (Update.Delta) must outlive
+// the slot that produced them — until the server consumes them at
+// aggregation — so they are checked out of a free list sized by the
+// steady-state in-flight count and returned by the scheduler once
+// aggregated (or discarded). After the first round the ring is warm and
+// checkout allocates nothing.
+type slotPool struct {
+	jobs chan int
+	wg   sync.WaitGroup
+	task roundTask
+
+	mu        sync.Mutex
+	free      [][]float64 // delta ring free list
+	numParams int
+	slots     int
+}
+
+// newSlotPool creates the pool and starts its worker goroutines. Close
+// must be called when the run ends to stop them.
+func newSlotPool(net *nn.Network, cfg Config, n int) *slotPool {
+	workers := min(cfg.parallelism(), n)
+	p := &slotPool{
+		jobs:      make(chan int, n),
+		numParams: net.NumParams(),
+		slots:     workers,
+	}
+	inSize := net.InShape().Size()
+	for w := 0; w < workers; w++ {
+		sl := &slot{
+			eng:     nn.NewEngine(net, cfg.BatchSize),
+			w0:      make([]float64, p.numParams),
+			w:       make([]float64, p.numParams),
+			grad:    make([]float64, p.numParams),
+			scratch: make([]float64, p.numParams),
+			batchX:  make([]float64, cfg.BatchSize*inSize),
+			batchY:  make([]int, cfg.BatchSize),
+		}
+		go p.worker(sl)
+	}
+	return p
+}
+
+// worker drains jobs onto its pinned slot until the pool closes.
+func (p *slotPool) worker(sl *slot) {
+	for j := range p.jobs {
+		p.task.run(j, sl)
+		p.wg.Done()
+	}
+}
+
+// close stops the worker goroutines. The pool must be idle.
+func (p *slotPool) close() { close(p.jobs) }
+
+// runRound executes one round of local updates for the given client IDs
+// on the worker pool, checking a delta buffer out of the ring for each
+// update and filling updates/measured slot-by-slot (position j matches
+// ids[j]). It returns once every client's update is written.
+func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, global, prevGlobal []float64, updates []Update, measured []float64) {
+	for j, id := range ids {
+		updates[j] = Update{
+			Client:     id,
+			Delta:      p.getDelta(),
+			NumSamples: clients[id].data.Len(),
+		}
+	}
+	p.task = roundTask{
+		cfg:        cfg,
+		alg:        alg,
+		clients:    clients,
+		ids:        ids,
+		round:      round,
+		global:     global,
+		prevGlobal: prevGlobal,
+		updates:    updates,
+		measured:   measured,
+	}
+	p.wg.Add(len(ids))
+	for j := range ids {
+		p.jobs <- j
+	}
+	p.wg.Wait()
+}
+
+// getDelta checks a NumParams-length delta buffer out of the ring,
+// allocating only when the free list is empty (cold start or a new
+// in-flight high-water mark).
+func (p *slotPool) getDelta() []float64 {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return d
+	}
+	p.mu.Unlock()
+	return make([]float64, p.numParams)
+}
+
+// putDelta returns a buffer to the ring. The caller must not retain it.
+func (p *slotPool) putDelta(d []float64) {
+	p.mu.Lock()
+	p.free = append(p.free, d)
+	p.mu.Unlock()
+}

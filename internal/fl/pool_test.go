@@ -1,0 +1,263 @@
+package fl
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// poolSetup builds an adult federation with n clients for the white-box
+// pool tests.
+func poolSetup(t testing.TB, n int) (*nn.Network, []*dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Standard("adult", dataset.ScaleSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, n, 0.5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataset.Model("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, part.Shards(train), test
+}
+
+// TestSteadyStateAllocs pins the zero-allocation property of warmed-up
+// rounds: once the slot pool's delta ring and the scheduler's reusable
+// buffers reach their high-water mark, a round allocates nothing under
+// any aggregation policy. Evaluation is pushed past the measured window
+// (EvalEvery) because test-set accuracy is on the eval cadence, not the
+// per-round hot path.
+func TestSteadyStateAllocs(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
+		t.Run(policy.String(), func(t *testing.T) {
+			cfg := Config{
+				Rounds:     200,
+				LocalSteps: 3,
+				BatchSize:  8,
+				LocalLR:    0.05,
+				Seed:       11,
+				EvalEvery:  1000,
+				Policy:     policy,
+			}
+			switch policy {
+			case PolicyDeadline:
+				// Generous deadline: nobody drops, rounds stay uniform.
+				cfg.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, simclock.Plain())
+			case PolicyAsync:
+				cfg.AsyncBuffer = 3
+			}
+			s, err := newScheduler(cfg, goldenFedAvg{}, net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.pool.close()
+
+			round := 0
+			var step func() (bool, error)
+			switch policy {
+			case PolicyDeadline:
+				step = func() (bool, error) { return s.deadlineRound(round) }
+			case PolicyAsync:
+				if err := s.setupAsync(); err != nil {
+					t.Fatal(err)
+				}
+				step = func() (bool, error) { return s.asyncStep(round) }
+			default:
+				step = func() (bool, error) { return s.syncRound(round) }
+			}
+
+			// Warm up: first rounds grow the delta ring, the engines'
+			// backward buffers, and the metric history's capacity.
+			for ; round < 5; round++ {
+				if halt, err := step(); err != nil || halt {
+					t.Fatalf("warmup round %d: halt=%v err=%v", round, halt, err)
+				}
+			}
+			allocs := testing.AllocsPerRun(30, func() {
+				halt, err := step()
+				if err != nil || halt {
+					t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+				}
+				round++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s round allocates %.1f objects/round, want 0", policy, allocs)
+			}
+		})
+	}
+}
+
+// TestSlotPoolStressBitIdentity is the n ≫ P stress regression: with 32
+// clients multiplexed over 1 vs 8 slots the slot→client assignment (and
+// hence the buffer reuse pattern) differs completely between the runs,
+// yet results must stay bit-identical — any read-before-write leakage of
+// slot or engine state would surface here. TACO exercises the fused
+// correction path and per-client coefficients on top.
+func TestSlotPoolStressBitIdentity(t *testing.T) {
+	net, shards, test := poolSetup(t, 32)
+	base := Config{
+		Rounds:     4,
+		LocalSteps: 3,
+		BatchSize:  8,
+		LocalLR:    0.05,
+		Seed:       19,
+	}
+	for _, algName := range []string{"fedavg", "taco"} {
+		t.Run(algName, func(t *testing.T) {
+			mk := func() Algorithm {
+				if algName == "taco" {
+					return newTestTACO(t)
+				}
+				return goldenFedAvg{}
+			}
+			cfgA := base
+			cfgA.Parallelism = 1
+			cfgB := base
+			cfgB.Parallelism = 8
+			resA, err := Run(cfgA, mk(), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, err := Run(cfgB, mk(), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ha, hb := paramsHash(resA.FinalParams), paramsHash(resB.FinalParams); ha != hb {
+				t.Fatalf("FinalParams differ across slot counts: %016x vs %016x", ha, hb)
+			}
+		})
+	}
+}
+
+// newTestTACO builds a TACO-like correction algorithm without importing
+// internal/core (import cycle): a fixed correction vector fused into the
+// step plus Scaffold-style per-client state, enough to stress the fused
+// path and buffer reuse.
+func newTestTACO(t *testing.T) Algorithm { return &fusedCorrAlg{} }
+
+// fusedCorrAlg is a white-box stand-in exercising FuseCorrection with a
+// per-client coefficient and cross-round per-client state.
+type fusedCorrAlg struct {
+	Base
+	corr  []float64
+	coeff []float64
+}
+
+func (a *fusedCorrAlg) Name() string { return "fusedCorr" }
+func (a *fusedCorrAlg) Setup(env *Env) {
+	a.corr = make([]float64, env.NumParams)
+	a.coeff = make([]float64, env.NumClients)
+	for i := range a.coeff {
+		a.coeff[i] = 0.01 * float64(i+1)
+	}
+}
+func (a *fusedCorrAlg) GradAdjust(ctx *StepCtx) {
+	ctx.FuseCorrection(a.coeff[ctx.Client], a.corr)
+}
+func (a *fusedCorrAlg) Aggregate(s *ServerCtx, updates []Update) {
+	FedAvgStep(s, updates)
+	// The broadcast correction for the next round is the mean delta in
+	// gradient units, as TACO's Eq. (9) does.
+	inv := 1 / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR * float64(len(updates)))
+	for i := range a.corr {
+		a.corr[i] = 0
+	}
+	for _, u := range updates {
+		for i, d := range u.Delta {
+			a.corr[i] += inv * d
+		}
+	}
+}
+
+// TestSlotPoolMemoryFootprint demonstrates the tentpole memory win: the
+// live heap a 500-client run retains with the pooled P=8 configuration
+// must be at least 5× smaller than with P=500 (one slot per client — the
+// pre-pool layout, where every client owned an engine and its parameter
+// buffers). Partial participation keeps the per-round delta ring small,
+// as the large-fleet experiments (scale1k) run it.
+func TestSlotPoolMemoryFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("500-client footprint measurement in -short mode")
+	}
+	net, shards, test := poolSetup(t, 500)
+	cfg := Config{
+		Rounds:                50,
+		LocalSteps:            2,
+		BatchSize:             8,
+		LocalLR:               0.05,
+		Seed:                  7,
+		EvalEvery:             1000,
+		ParticipationFraction: 0.1,
+	}
+
+	footprint := func(parallelism int) uint64 {
+		c := cfg
+		c.Parallelism = parallelism
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		s, err := newScheduler(c, goldenFedAvg{}, net, shards, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.pool.close()
+		for round := 0; round < 3; round++ {
+			if halt, err := s.syncRound(round); err != nil || halt {
+				t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+			}
+		}
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		live := m1.HeapAlloc - m0.HeapAlloc
+		runtime.KeepAlive(s)
+		return live
+	}
+
+	pooled := footprint(8)
+	perClient := footprint(500)
+	t.Logf("500-client live heap: P=8 pooled %.2f MiB, P=500 per-client %.2f MiB (%.1fx)",
+		float64(pooled)/(1<<20), float64(perClient)/(1<<20), float64(perClient)/float64(pooled))
+	if float64(perClient) < 5*float64(pooled) {
+		t.Fatalf("pooled footprint %d B is not ≥5x smaller than per-client %d B", pooled, perClient)
+	}
+}
+
+// TestDeltaRingReuse checks the ring's steady state directly: after a few
+// sync rounds with a fixed participant count the free list stops growing.
+func TestDeltaRingReuse(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	cfg := Config{Rounds: 6, LocalSteps: 2, BatchSize: 8, LocalLR: 0.05, Seed: 3, EvalEvery: 1000}
+	s, err := newScheduler(cfg, goldenFedAvg{}, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.pool.close()
+	for round := 0; round < 3; round++ {
+		if halt, err := s.syncRound(round); err != nil || halt {
+			t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+		}
+	}
+	high := len(s.pool.free)
+	if high != 8 {
+		t.Fatalf("delta ring holds %d buffers after full-participation rounds, want 8", high)
+	}
+	for round := 3; round < 6; round++ {
+		if halt, err := s.syncRound(round); err != nil || halt {
+			t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+		}
+	}
+	if len(s.pool.free) != high {
+		t.Fatalf("delta ring grew from %d to %d buffers in steady state", high, len(s.pool.free))
+	}
+}

@@ -26,11 +26,17 @@ import (
 // algorithm state written by EndLocal therefore reflects the client's
 // latest dispatched round, which under the async policy may be ahead of
 // an update still waiting in the server buffer.
+//
+// Steady-state rounds are allocation-free: the per-round ids/updates/
+// measured slices, the aggregation context, the async flight table, and
+// the upload deltas (slot-pool ring, pool.go) are all owned by the
+// scheduler and reused round over round (pinned by TestSteadyStateAllocs).
 type scheduler struct {
 	cfg      Config
 	alg      Algorithm
 	clients  []*client
 	env      *Env
+	pool     *slotPool
 	params   []float64
 	wPrev    []float64
 	active   []bool
@@ -43,13 +49,30 @@ type scheduler struct {
 	// scale it by the device's speed factor.
 	baseRound float64
 	partRNG   *rng.RNG
+
+	// Reusable per-round state (capacity n, sliced per round).
+	ids      []int
+	include  []int
+	updates  []Update
+	measured []float64
+	server   ServerCtx
+	oneID    [1]int
+	// now is the virtual clock (modeled seconds since the run started).
+	now float64
+
+	// Async-policy state (setupAsync/asyncStep).
+	pending     []flight
+	buffer      []Update
+	version     int
+	lastAgg     float64
+	bufMeasured float64
 }
 
-// participants collects the round's participating clients in ID order,
-// applying the partial-participation sampler, and errors when every
-// client has been expelled.
+// participants collects the round's participating clients in ID order
+// into the scheduler's reusable ids buffer, applying the partial-
+// participation sampler, and errors when every client has been expelled.
 func (s *scheduler) participants(t int) ([]int, error) {
-	ids := make([]int, 0, len(s.clients))
+	ids := s.ids[:0]
 	for i := range s.clients {
 		if s.active[i] {
 			ids = append(ids, i)
@@ -62,12 +85,14 @@ func (s *scheduler) participants(t int) ([]int, error) {
 		take := max(int(f*float64(len(ids))+0.5), 1)
 		picked := s.partRNG.SampleWithoutReplacement(len(ids), take)
 		sort.Ints(picked)
-		sampled := make([]int, take)
 		for j, p := range picked {
-			sampled[j] = ids[p]
+			// picked is sorted ascending, so ids[p] is never overwritten
+			// before it is read: in-place compaction is safe.
+			ids[j] = ids[p]
 		}
-		ids = sampled
+		ids = ids[:take]
 	}
+	s.ids = ids[:0]
 	return ids, nil
 }
 
@@ -76,15 +101,12 @@ func (s *scheduler) participants(t int) ([]int, error) {
 // the model diverged (the paper's "×" outcome), which halts the run.
 func (s *scheduler) aggregate(t int, updates []Update) (diverged bool) {
 	copy(s.wPrev, s.params)
-	server := &ServerCtx{
-		Round:  t,
-		W:      s.params,
-		WPrev:  s.wPrev,
-		Env:    s.env,
-		Active: s.active,
-	}
-	s.alg.Aggregate(server, updates)
-	for _, id := range server.expelled {
+	s.server.Round = t
+	s.server.W = s.params
+	s.server.WPrev = s.wPrev
+	s.server.expelled = s.server.expelled[:0]
+	s.alg.Aggregate(&s.server, updates)
+	for _, id := range s.server.expelled {
 		if s.active[id] {
 			s.active[id] = false
 			s.expelled[id] = t
@@ -96,6 +118,15 @@ func (s *scheduler) aggregate(t int, updates []Update) (diverged bool) {
 		return true
 	}
 	return false
+}
+
+// releaseDeltas returns the round's upload buffers to the slot-pool ring
+// once the server has consumed them.
+func (s *scheduler) releaseDeltas(updates []Update) {
+	for i := range updates {
+		s.pool.putDelta(updates[i].Delta)
+		updates[i].Delta = nil
+	}
 }
 
 // recordAccuracy fills rec.Accuracy per the evaluation cadence.
@@ -136,43 +167,57 @@ func (s *scheduler) slowestHonest(ids []int, measured []float64) float64 {
 // always-available device finishRel collapses to Seconds(baseRound)
 // exactly).
 func (s *scheduler) runSync() error {
-	now := 0.0
 	for t := 0; t < s.cfg.Rounds; t++ {
-		ids, err := s.participants(t)
+		halt, err := s.syncRound(t)
 		if err != nil {
 			return err
 		}
-		updates := make([]Update, len(ids))
-		measured := make([]float64, len(ids))
-		runLocalRounds(s.cfg, s.alg, s.clients, ids, t, s.params, s.wPrev, updates, measured)
-
-		// The synchronous server waits for the slowest honest device.
-		var slowestModeled float64
-		for _, id := range ids {
-			if s.clients[id].freeloader {
-				continue
-			}
-			if m := s.finishRel(id, now); m > slowestModeled {
-				slowestModeled = m
-			}
-		}
-		slowestMeasured := s.slowestHonest(ids, measured)
-
-		if s.aggregate(t, updates) {
+		if halt {
 			break
 		}
-		rec := metrics.Round{
-			Index:              t,
-			TrainLoss:          meanLoss(updates),
-			SlowestModeledSec:  slowestModeled,
-			SlowestMeasuredSec: slowestMeasured,
-			MeanAlpha:          s.alg.MeanAlpha(),
-		}
-		s.recordAccuracy(t, &rec)
-		s.run.Append(rec)
-		now += slowestModeled
 	}
 	return nil
+}
+
+// syncRound executes one synchronous round; halt reports divergence.
+func (s *scheduler) syncRound(t int) (halt bool, err error) {
+	ids, err := s.participants(t)
+	if err != nil {
+		return false, err
+	}
+	updates := s.updates[:len(ids)]
+	measured := s.measured[:len(ids)]
+	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, t, s.params, s.wPrev, updates, measured)
+
+	// The synchronous server waits for the slowest honest device.
+	var slowestModeled float64
+	for _, id := range ids {
+		if s.clients[id].freeloader {
+			continue
+		}
+		if m := s.finishRel(id, s.now); m > slowestModeled {
+			slowestModeled = m
+		}
+	}
+	slowestMeasured := s.slowestHonest(ids, measured)
+
+	halt = s.aggregate(t, updates)
+	trainLoss := meanLoss(updates)
+	s.releaseDeltas(updates)
+	if halt {
+		return true, nil
+	}
+	rec := metrics.Round{
+		Index:              t,
+		TrainLoss:          trainLoss,
+		SlowestModeledSec:  slowestModeled,
+		SlowestMeasuredSec: slowestMeasured,
+		MeanAlpha:          s.alg.MeanAlpha(),
+	}
+	s.recordAccuracy(t, &rec)
+	s.run.Append(rec)
+	s.now += slowestModeled
+	return false, nil
 }
 
 // finishRel returns client id's modeled finish time relative to a round
@@ -192,71 +237,121 @@ func (s *scheduler) finishRel(id int, now float64) float64 {
 // participant would miss the deadline the server admits the earliest
 // finisher so the round always aggregates at least one update.
 func (s *scheduler) runDeadline() error {
-	now := 0.0
 	for t := 0; t < s.cfg.Rounds; t++ {
-		ids, err := s.participants(t)
+		halt, err := s.deadlineRound(t)
 		if err != nil {
 			return err
 		}
-		include := make([]int, 0, len(ids))
-		var roundDur float64
-		dropped := 0
-		earliest, earliestRel := -1, math.Inf(1)
-		for _, id := range ids {
-			rel := s.finishRel(id, now)
-			if rel <= s.cfg.RoundDeadlineSec {
-				include = append(include, id)
-				if rel > roundDur {
-					roundDur = rel
-				}
-			} else {
-				dropped++
-				if rel < earliestRel {
-					earliest, earliestRel = id, rel
-				}
-			}
-		}
-		if len(include) == 0 {
-			include = append(include, earliest)
-			dropped--
-			roundDur = earliestRel
-		} else if dropped > 0 {
-			// Stragglers were cut off, so the server waited out the full
-			// deadline before closing the round.
-			roundDur = s.cfg.RoundDeadlineSec
-		}
-
-		updates := make([]Update, len(include))
-		measured := make([]float64, len(include))
-		runLocalRounds(s.cfg, s.alg, s.clients, include, t, s.params, s.wPrev, updates, measured)
-
-		if s.aggregate(t, updates) {
+		if halt {
 			break
 		}
-		rec := metrics.Round{
-			Index:              t,
-			TrainLoss:          meanLoss(updates),
-			SlowestModeledSec:  roundDur,
-			SlowestMeasuredSec: s.slowestHonest(include, measured),
-			MeanAlpha:          s.alg.MeanAlpha(),
-			DroppedClients:     dropped,
-		}
-		s.recordAccuracy(t, &rec)
-		s.run.Append(rec)
-		now += roundDur
 	}
 	return nil
+}
+
+// deadlineRound executes one deadline round; halt reports divergence.
+func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
+	ids, err := s.participants(t)
+	if err != nil {
+		return false, err
+	}
+	include := s.include[:0]
+	var roundDur float64
+	dropped := 0
+	earliest, earliestRel := -1, math.Inf(1)
+	for _, id := range ids {
+		rel := s.finishRel(id, s.now)
+		if rel <= s.cfg.RoundDeadlineSec {
+			include = append(include, id)
+			if rel > roundDur {
+				roundDur = rel
+			}
+		} else {
+			dropped++
+			if rel < earliestRel {
+				earliest, earliestRel = id, rel
+			}
+		}
+	}
+	if len(include) == 0 {
+		include = append(include, earliest)
+		dropped--
+		roundDur = earliestRel
+	} else if dropped > 0 {
+		// Stragglers were cut off, so the server waited out the full
+		// deadline before closing the round.
+		roundDur = s.cfg.RoundDeadlineSec
+	}
+	s.include = include[:0]
+
+	updates := s.updates[:len(include)]
+	measured := s.measured[:len(include)]
+	s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.params, s.wPrev, updates, measured)
+
+	halt = s.aggregate(t, updates)
+	trainLoss := meanLoss(updates)
+	slowestMeasured := s.slowestHonest(include, measured)
+	s.releaseDeltas(updates)
+	if halt {
+		return true, nil
+	}
+	rec := metrics.Round{
+		Index:              t,
+		TrainLoss:          trainLoss,
+		SlowestModeledSec:  roundDur,
+		SlowestMeasuredSec: slowestMeasured,
+		MeanAlpha:          s.alg.MeanAlpha(),
+		DroppedClients:     dropped,
+	}
+	s.recordAccuracy(t, &rec)
+	s.run.Append(rec)
+	s.now += roundDur
+	return false, nil
 }
 
 // flight is one client's in-progress local round under the async policy:
 // the update it will upload (already computed — see the scheduler doc
 // comment), the server version it trained from, and its modeled
-// completion time.
+// completion time. Flights live in the scheduler's fixed pending table;
+// live distinguishes in-flight entries from consumed ones.
 type flight struct {
 	update   Update
 	measured float64
 	finish   float64
 	version  int
+	live     bool
+}
+
+// dispatch starts a local round for the given clients at virtual time at:
+// the update is computed now (execute-at-dispatch semantics) and parked
+// in the pending table until its modeled finish event fires. The upload
+// delta is a ring buffer owned by the flight until the server consumes or
+// discards it.
+func (s *scheduler) dispatch(ids []int, at float64) {
+	updates := s.updates[:len(ids)]
+	measured := s.measured[:len(ids)]
+	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, s.version, s.params, s.wPrev, updates, measured)
+	for j, id := range ids {
+		s.pending[id] = flight{
+			update:   updates[j],
+			measured: measured[j],
+			finish:   s.env.Devices[id].Availability.NextAvailable(at) + s.finishDur(id),
+			version:  s.version,
+			live:     true,
+		}
+	}
+}
+
+// setupAsync initializes the async state and dispatches the first wave.
+func (s *scheduler) setupAsync() error {
+	s.pending = make([]flight, len(s.clients))
+	s.buffer = make([]Update, 0, s.cfg.asyncBuffer())
+	ids, err := s.participants(0)
+	if err != nil {
+		return err
+	}
+	s.dispatch(ids, 0)
+	return nil
 }
 
 // runAsync is FedBuff-style buffered asynchronous aggregation: every
@@ -267,100 +362,92 @@ type flight struct {
 // triggers a server step restarts after it, on the new model. Cfg.Rounds
 // counts server steps.
 func (s *scheduler) runAsync() error {
-	bufK := s.cfg.asyncBuffer()
-	pending := make([]*flight, len(s.clients))
-	version := 0
-	now, lastAgg := 0.0, 0.0
-
-	dispatch := func(ids []int, at float64) {
-		updates := make([]Update, len(ids))
-		measured := make([]float64, len(ids))
-		runLocalRounds(s.cfg, s.alg, s.clients, ids, version, s.params, s.wPrev, updates, measured)
-		for j, id := range ids {
-			u := updates[j]
-			// The client's delta buffer is reused by its next dispatch,
-			// so the buffered upload owns a copy.
-			u.Delta = vecmath.Clone(u.Delta)
-			pending[id] = &flight{
-				update:   u,
-				measured: measured[j],
-				finish:   s.env.Devices[id].Availability.NextAvailable(at) + s.finishDur(id),
-				version:  version,
-			}
-		}
-	}
-
-	ids, err := s.participants(0)
-	if err != nil {
+	if err := s.setupAsync(); err != nil {
 		return err
 	}
-	dispatch(ids, 0)
-
-	buffer := make([]Update, 0, bufK)
-	var bufMeasured float64
 	for t := 0; t < s.cfg.Rounds; t++ {
-		// Drain arrivals in virtual-time order (ties broken by client ID)
-		// until the buffer triggers a server step.
-		trigger := -1
-		for len(buffer) < bufK {
-			id := -1
-			for i, f := range pending {
-				if f != nil && (id == -1 || f.finish < pending[id].finish) {
-					id = i
-				}
-			}
-			if id == -1 {
-				return fmt.Errorf("fl: no client updates in flight at async step %d (all clients expelled)", t)
-			}
-			f := pending[id]
-			pending[id] = nil
-			now = f.finish
-			if !s.active[id] {
-				continue // expelled while in flight: upload discarded
-			}
-			f.update.Staleness = version - f.version
-			buffer = append(buffer, f.update)
-			if f.measured > bufMeasured {
-				bufMeasured = f.measured
-			}
-			if len(buffer) < bufK {
-				dispatch([]int{id}, now)
-			} else {
-				trigger = id
-			}
+		halt, err := s.asyncStep(t)
+		if err != nil {
+			return err
 		}
-
-		var staleSum, staleMax int
-		for _, u := range buffer {
-			staleSum += u.Staleness
-			if u.Staleness > staleMax {
-				staleMax = u.Staleness
-			}
-		}
-
-		if s.aggregate(t, buffer) {
+		if halt {
 			break
 		}
-		version++
-		if trigger >= 0 && s.active[trigger] {
-			dispatch([]int{trigger}, now)
-		}
-		rec := metrics.Round{
-			Index:              t,
-			TrainLoss:          meanLoss(buffer),
-			SlowestModeledSec:  now - lastAgg,
-			SlowestMeasuredSec: bufMeasured,
-			MeanAlpha:          s.alg.MeanAlpha(),
-			MeanStaleness:      float64(staleSum) / float64(len(buffer)),
-			MaxStaleness:       staleMax,
-		}
-		s.recordAccuracy(t, &rec)
-		s.run.Append(rec)
-		lastAgg = now
-		buffer = buffer[:0]
-		bufMeasured = 0
 	}
 	return nil
+}
+
+// asyncStep drains arrivals in virtual-time order (ties broken by client
+// ID) until the buffer triggers one server step; halt reports divergence.
+func (s *scheduler) asyncStep(t int) (halt bool, err error) {
+	bufK := s.cfg.asyncBuffer()
+	trigger := -1
+	for len(s.buffer) < bufK {
+		id := -1
+		for i := range s.pending {
+			if s.pending[i].live && (id == -1 || s.pending[i].finish < s.pending[id].finish) {
+				id = i
+			}
+		}
+		if id == -1 {
+			return false, fmt.Errorf("fl: no client updates in flight at async step %d (all clients expelled)", t)
+		}
+		f := &s.pending[id]
+		f.live = false
+		s.now = f.finish
+		if !s.active[id] {
+			// Expelled while in flight: upload discarded, delta recycled.
+			s.pool.putDelta(f.update.Delta)
+			f.update.Delta = nil
+			continue
+		}
+		f.update.Staleness = s.version - f.version
+		s.buffer = append(s.buffer, f.update)
+		if f.measured > s.bufMeasured {
+			s.bufMeasured = f.measured
+		}
+		if len(s.buffer) < bufK {
+			s.oneID[0] = id
+			s.dispatch(s.oneID[:1], s.now)
+		} else {
+			trigger = id
+		}
+	}
+
+	var staleSum, staleMax int
+	for _, u := range s.buffer {
+		staleSum += u.Staleness
+		if u.Staleness > staleMax {
+			staleMax = u.Staleness
+		}
+	}
+
+	halt = s.aggregate(t, s.buffer)
+	trainLoss := meanLoss(s.buffer)
+	s.releaseDeltas(s.buffer)
+	if halt {
+		return true, nil
+	}
+	s.version++
+	if trigger >= 0 && s.active[trigger] {
+		s.oneID[0] = trigger
+		s.dispatch(s.oneID[:1], s.now)
+	}
+	rec := metrics.Round{
+		Index:              t,
+		TrainLoss:          trainLoss,
+		SlowestModeledSec:  s.now - s.lastAgg,
+		SlowestMeasuredSec: s.bufMeasured,
+		MeanAlpha:          s.alg.MeanAlpha(),
+		MeanStaleness:      float64(staleSum) / float64(len(s.buffer)),
+		MaxStaleness:       staleMax,
+	}
+	s.recordAccuracy(t, &rec)
+	s.run.Append(rec)
+	s.lastAgg = s.now
+	s.buffer = s.buffer[:0]
+	s.bufMeasured = 0
+	return false, nil
 }
 
 // finishDur returns client id's modeled compute duration. Freeloaders

@@ -1,0 +1,69 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Fused level-1 AVX2+FMA kernels for the corrected-SGD and freeloader
+// hot paths (see fused.go). Both are leaf functions that stream eight
+// float64s (two YMM vectors) per iteration; the Go wrappers handle the
+// sub-8 tails, so n is always a positive multiple of 8 here.
+
+// func axpypyKernel(a float64, x *float64, b float64, y, z *float64, n int)
+// z[i] += a*x[i] + b*y[i]
+TEXT ·axpypyKernel(SB), NOSPLIT, $0-48
+	VBROADCASTSD a+0(FP), Y14
+	VBROADCASTSD b+16(FP), Y15
+	MOVQ         x+8(FP), R8
+	MOVQ         y+24(FP), R9
+	MOVQ         z+32(FP), DI
+	MOVQ         n+40(FP), CX
+
+axpypyloop:
+	VMOVUPD     (DI), Y0
+	VMOVUPD     32(DI), Y1
+	VMOVUPD     (R8), Y2
+	VMOVUPD     32(R8), Y3
+	VMOVUPD     (R9), Y4
+	VMOVUPD     32(R9), Y5
+	VFMADD231PD Y2, Y14, Y0
+	VFMADD231PD Y3, Y14, Y1
+	VFMADD231PD Y4, Y15, Y0
+	VFMADD231PD Y5, Y15, Y1
+	VMOVUPD     Y0, (DI)
+	VMOVUPD     Y1, 32(DI)
+	ADDQ        $64, R8
+	ADDQ        $64, R9
+	ADDQ        $64, DI
+	SUBQ        $8, CX
+	JNZ         axpypyloop
+
+	VZEROUPPER
+	RET
+
+// func subScaleKernel(s float64, a, b, dst *float64, n int)
+// dst[i] = s*(a[i]-b[i])
+TEXT ·subScaleKernel(SB), NOSPLIT, $0-40
+	VBROADCASTSD s+0(FP), Y15
+	MOVQ         a+8(FP), R8
+	MOVQ         b+16(FP), R9
+	MOVQ         dst+24(FP), DI
+	MOVQ         n+32(FP), CX
+
+subscaleloop:
+	VMOVUPD (R8), Y0
+	VMOVUPD 32(R8), Y1
+	VMOVUPD (R9), Y2
+	VMOVUPD 32(R9), Y3
+	VSUBPD  Y2, Y0, Y0
+	VSUBPD  Y3, Y1, Y1
+	VMULPD  Y15, Y0, Y0
+	VMULPD  Y15, Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    $64, R8
+	ADDQ    $64, R9
+	ADDQ    $64, DI
+	SUBQ    $8, CX
+	JNZ     subscaleloop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vecmath
+
+func axpypyKernel(a float64, x *float64, b float64, y, z *float64, n int) {
+	panic("vecmath: assembly kernel on non-amd64")
+}
+
+func subScaleKernel(s float64, a, b, dst *float64, n int) {
+	panic("vecmath: assembly kernel on non-amd64")
+}

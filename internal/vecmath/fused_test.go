@@ -1,0 +1,121 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refAXPYPY is the unfused two-pass reference.
+func refAXPYPY(a float64, x []float64, b float64, y, z []float64) {
+	for i := range z {
+		z[i] += a * x[i]
+	}
+	for i := range z {
+		z[i] += b * y[i]
+	}
+}
+
+// TestAXPYPYMatchesReference checks the fused kernel against the two-pass
+// form at every length around the 8-lane boundary, including the pure-Go
+// tail. FMA reassociation changes the last ulp, so the comparison is
+// relative with a tight tolerance rather than bit-exact.
+func TestAXPYPYMatchesReference(t *testing.T) {
+	r := rng.New(17)
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 1000, 1027} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		want := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+			y[i] = r.Normal(0, 1)
+			z[i] = r.Normal(0, 1)
+			want[i] = z[i]
+		}
+		refAXPYPY(-0.05, x, 0.03, y, want)
+		AXPYPY(-0.05, x, 0.03, y, z)
+		for i := range z {
+			if diff := math.Abs(z[i] - want[i]); diff > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: z[%d] = %v, want %v (diff %g)", n, i, z[i], want[i], diff)
+			}
+		}
+	}
+}
+
+// TestSubScaleMatchesReference checks the fused freeloader-replay kernel,
+// including aliased destinations. Sub-then-scale and the fused form
+// perform the identical operations per element, so this comparison is
+// bit-exact.
+func TestSubScaleMatchesReference(t *testing.T) {
+	r := rng.New(23)
+	for _, n := range []int{0, 1, 5, 8, 13, 16, 64, 1000, 1027} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		for i := range a {
+			a[i] = r.Normal(0, 1)
+			b[i] = r.Normal(0, 1)
+		}
+		Sub(want, a, b)
+		Scale(1.7, want)
+		SubScale(dst, 1.7, a, b)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d: dst[%d] = %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+		// Aliased: dst == a.
+		aliased := make([]float64, n)
+		copy(aliased, a)
+		SubScale(aliased, 1.7, aliased, b)
+		for i := range aliased {
+			if aliased[i] != want[i] {
+				t.Fatalf("n=%d aliased: dst[%d] = %v, want %v", n, i, aliased[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAXPYPYPanicsOnLengthMismatch pins the conformability contract.
+func TestAXPYPYPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched lengths")
+		}
+	}()
+	AXPYPY(1, make([]float64, 3), 1, make([]float64, 4), make([]float64, 4))
+}
+
+func BenchmarkFused(b *testing.B) {
+	const n = 4096
+	r := rng.New(5)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+		y[i] = r.Normal(0, 1)
+	}
+	b.Run("AXPYPY", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AXPYPY(-0.05, x, 0.01, y, z)
+		}
+		b.ReportMetric(float64(4*n)*float64(b.N)/b.Elapsed().Seconds(), "flops/s")
+	})
+	b.Run("unfused-GradAdjust+AXPY", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AXPY(0.01, y, x)
+			AXPY(-0.05, x, z)
+		}
+		b.ReportMetric(float64(4*n)*float64(b.N)/b.Elapsed().Seconds(), "flops/s")
+	})
+	b.Run("SubScale", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SubScale(z, 1.7, x, y)
+		}
+		b.ReportMetric(float64(2*n)*float64(b.N)/b.Elapsed().Seconds(), "flops/s")
+	})
+}
