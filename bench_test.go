@@ -107,6 +107,11 @@ func BenchmarkStragglerStudy(b *testing.B) { benchArtifact(b, "straggler") }
 // the slot-pooled training substrate (DESIGN.md §5).
 func BenchmarkScale1k(b *testing.B) { benchArtifact(b, "scale1k") }
 
+// BenchmarkRobustness runs the client-corruption attack grid (DESIGN.md
+// §6): every injector kind × FedAvg/Scaffold/FoolsGold/TACO, reporting
+// per-attack honest-vs-corrupt aggregation weight mass and detection P/R.
+func BenchmarkRobustness(b *testing.B) { benchArtifact(b, "robustness") }
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkGradEval measures one mini-batch gradient evaluation per model

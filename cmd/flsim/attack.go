@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adversary"
+	"repro/internal/experiments"
+)
+
+// buildAttack turns the -attack/-attack-frac/-attack-scale flags into an
+// adversary spec. The -attack value uses adversary.ParseAttack syntax
+// ("kind[:frac[:scale]]"); the dedicated flags, when positive, override
+// the inline parts. Returns nil when no attack was requested.
+func buildAttack(attack string, frac, scale float64) (*adversary.Spec, error) {
+	if attack == "" {
+		if frac != 0 || scale != 0 {
+			return nil, fmt.Errorf("-attack-frac/-attack-scale need -attack")
+		}
+		return nil, nil
+	}
+	spec, err := adversary.ParseAttack(attack)
+	if err != nil {
+		return nil, err
+	}
+	if frac != 0 {
+		spec.Clients = nil
+		spec.Frac = frac
+	}
+	if scale != 0 {
+		spec.Scale = scale
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// runExperiment executes one registered experiment (flsim -experiment),
+// printing each artifact and persisting it under results/<id>.txt so the
+// grid's report — e.g. the robustness study's per-attack honest-vs-corrupt
+// weight masses — survives the run.
+func runExperiment(id string, scale experiments.Scale, seed uint64) error {
+	runner := experiments.NewRunner(scale)
+	runner.Seed = seed
+	runner.Progress = os.Stderr
+	artifacts, err := experiments.Run(id, runner)
+	if err != nil {
+		return err
+	}
+	var rendered strings.Builder
+	out := io.MultiWriter(os.Stdout, &rendered)
+	for _, a := range artifacts {
+		a.Render(out)
+		fmt.Fprintln(out)
+	}
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join("results", id+".txt")
+	if err := os.WriteFile(path, []byte(rendered.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

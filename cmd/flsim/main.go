@@ -7,6 +7,8 @@
 //	flsim -dataset adult -alg Scaffold -partition dir -phi 0.1
 //	flsim -dataset fmnist -alg TACO -freeloaders 8 -detect
 //	flsim -dataset adult -alg TACO -clients 1000 -partition dir -phi 0.3 -memprofile heap.pprof
+//	flsim -dataset adult -alg FG -attack signflip -attack-frac 0.3
+//	flsim -experiment robustness
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -56,10 +59,34 @@ func run() error {
 		deadlineSec = flag.Float64("deadline", 0, "deadline policy: modeled seconds per round (0 = 1.5× the nominal modeled round)")
 		buffer      = flag.Int("buffer", 0, "async policy: buffered updates per server step (0 = clients/4, min 1)")
 		hetero      = flag.String("hetero", "uniform", "device fleet: "+strings.Join(simclock.FleetNames(), "|"))
+		attack      = flag.String("attack", "", "corrupt clients: kind[:frac[:scale]], kind one of "+strings.Join(adversary.KindNames(), "|"))
+		attackFrac  = flag.Float64("attack-frac", 0, "fraction of clients corrupted by -attack (0 = the spec's, default 0.25)")
+		attackScale = flag.Float64("attack-scale", 0, "magnitude of -attack (0 = the kind's default)")
+		experiment  = flag.String("experiment", "", "run a registered experiment (e.g. robustness), write results/<id>.txt, and exit; ids: "+strings.Join(experiments.IDs(), "|"))
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
+
+	if *experiment != "" {
+		// An experiment fixes its own grid: any other explicitly set flag
+		// would be silently ignored, so reject the combination instead.
+		allowed := map[string]bool{"experiment": true, "scale": true, "seed": true}
+		var conflict []string
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-experiment runs a fixed grid; incompatible with %s", strings.Join(conflict, " "))
+		}
+		expScale := experiments.ScaleQuick
+		if *scaleName == "full" {
+			expScale = experiments.ScaleFull
+		}
+		return runExperiment(*experiment, expScale, *seed)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -172,6 +199,14 @@ func run() error {
 			cfg.Freeloaders = append(cfg.Freeloaders, id)
 		}
 	}
+	spec, err := buildAttack(*attack, *attackFrac, *attackScale)
+	if err != nil {
+		return err
+	}
+	if spec != nil {
+		cfg.Adversaries = []adversary.Spec{*spec}
+		fmt.Printf("attack %s (scale %v): corrupt clients %v\n", spec.Kind, spec.Scale, spec.Members(*clients))
+	}
 
 	res, err := fl.Run(cfg, alg, net, part.Shards(train), test)
 	if err != nil {
@@ -195,6 +230,10 @@ func run() error {
 		fmt.Printf("policy %s (fleet %s): t_wall %.3fs, dropped %d, mean staleness %.2f (peak %d)\n",
 			policy, *hetero, run.Rounds[len(run.Rounds)-1].CumModeledSec,
 			run.TotalDropped(), run.MeanStaleness(), run.PeakStaleness())
+	}
+	if spec != nil {
+		fmt.Printf("attack %s: mean corrupt weight mass %.3f (head-count share %.3f)\n",
+			spec.Kind, run.MeanCorruptWeight(), float64(len(spec.Members(*clients)))/float64(*clients))
 	}
 	if run.Diverged {
 		fmt.Printf("DIVERGED at round %d (the paper's '×' outcome)\n", run.DivergedRound)

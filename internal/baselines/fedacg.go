@@ -62,7 +62,7 @@ func (a *FedACG) GradAdjust(ctx *fl.StepCtx) {
 // m^{t+1} = λm^t − mean(∆_i)·(ηg/(K·ηl)),  w^{t+1} = w^t + m^{t+1}.
 // With λ = 0 this reduces exactly to the FedAvg step.
 func (a *FedACG) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
-	weights := fl.AggregationWeights(updates, s.Env.Cfg.WeightByData)
+	weights := s.AggregationWeights(updates)
 	vecmath.Zero(a.avg)
 	for i, u := range updates {
 		vecmath.AXPY(weights[i], u.Delta, a.avg)

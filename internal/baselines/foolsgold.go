@@ -62,4 +62,10 @@ func (a *FoolsGold) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	for i, u := range updates {
 		vecmath.AXPY(-weights[i]/total*scale, u.Delta, s.W)
 	}
+	// Report the normalized similarity weights for the defense metrics
+	// (honest-vs-corrupt weight mass, suppression detection).
+	for i := range weights {
+		weights[i] /= total
+	}
+	s.ReportWeights(weights)
 }

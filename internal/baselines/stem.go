@@ -20,12 +20,13 @@ type STEM struct {
 	// AlphaT is the uniform momentum coefficient α_t (paper default 0.2).
 	AlphaT float64
 
-	v     [][]float64 // per-client momentum, persists across rounds, lazy
-	wPrev [][]float64 // per-client previous local iterate within a round
-	k     int
-	lr    float64
-	n     int
-	d     int // NumParams, for lazy per-client allocation
+	v       [][]float64 // per-client momentum, persists across rounds, lazy
+	wPrev   [][]float64 // per-client previous local iterate within a round
+	k       int
+	lr      float64
+	n       int
+	d       int       // NumParams, for lazy per-client allocation
+	weights []float64 // reusable reported-weight buffer (defense metrics)
 }
 
 // NewSTEM returns STEM with momentum coefficient alphaT.
@@ -46,6 +47,7 @@ func (a *STEM) Setup(env *fl.Env) {
 	a.lr = env.Cfg.LocalLR
 	a.n = env.NumClients
 	a.d = env.NumParams
+	a.weights = make([]float64, env.NumClients)
 }
 
 // BeginLocal seeds the round's previous iterate with w_{i,0}, so the first
@@ -96,6 +98,19 @@ func (a *STEM) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	for _, u := range updates {
 		dampSum += fl.StalenessDamp(u.Staleness)
 	}
+	// STEM's effective aggregation weights are the normalized staleness
+	// dampings (uniform when all updates are fresh) — STEM ignores
+	// WeightByData, so they are reported explicitly rather than through
+	// the Eq. (6) helper. Sized to the update count: one client can
+	// contribute several updates per step under buffered asynchrony.
+	if cap(a.weights) < len(updates) {
+		a.weights = make([]float64, len(updates))
+	}
+	w := a.weights[:len(updates)]
+	for i, u := range updates {
+		w[i] = fl.StalenessDamp(u.Staleness) / dampSum
+	}
+	s.ReportWeights(w)
 	for _, u := range updates {
 		scale := s.GlobalLR() * fl.StalenessDamp(u.Staleness) / (float64(a.k) * dampSum * a.lr)
 		vecmath.AXPY(-scale, u.Delta, s.W)

@@ -92,6 +92,12 @@ func (t *AlphaTracker) Update(updates []fl.Update, smoothing float64) {
 		t.deltas = make([][]float64, len(updates))
 		t.norms = make([]float64, len(updates))
 	}
+	// scratch is seeded to the client count but tracks the update count:
+	// under buffered asynchrony one client can contribute several updates
+	// to a single server step.
+	if cap(t.scratch) < len(updates) {
+		t.scratch = make([]float64, len(updates))
+	}
 	deltas := t.deltas[:len(updates)]
 	for i, u := range updates {
 		deltas[i] = u.Delta

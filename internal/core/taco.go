@@ -77,6 +77,10 @@ type TACO struct {
 	k       int
 	lr      float64
 	mean    float64
+	// weights is the reusable normalized Eq. (9) weight buffer, reported
+	// to the server each round for the defense metrics (honest-vs-corrupt
+	// weight mass).
+	weights []float64
 }
 
 // New returns TACO with the given configuration; zero fields select the
@@ -109,6 +113,7 @@ func (a *TACO) Setup(env *fl.Env) {
 	a.k = env.Cfg.LocalSteps
 	a.lr = env.Cfg.LocalLR
 	a.mean = a.cfg.InitialAlpha
+	a.weights = make([]float64, env.NumClients)
 }
 
 // GradAdjust applies Eq. (8): g ← g + γ(1−α_i^t)·∆^t, registered as a
@@ -142,28 +147,40 @@ func (a *TACO) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	weight := func(u fl.Update) float64 {
 		return math.Max(a.tracker.Alpha(u.Client), a.cfg.AggFloor) * fl.StalenessDamp(u.Staleness)
 	}
+	// The normalized per-update weights are materialized once (reusable
+	// buffer) so they can both drive the aggregation and be reported to
+	// the server for the defense metrics. The buffer tracks the update
+	// count, not the client count: under buffered asynchrony one client
+	// can contribute several updates to a single server step.
+	if cap(a.weights) < len(updates) {
+		a.weights = make([]float64, len(updates))
+	}
+	w := a.weights[:len(updates)]
 	var alphaSum float64
 	for _, u := range updates {
 		alphaSum += weight(u)
 	}
-	vecmath.Zero(a.corr)
-	inv := 1 / (float64(a.k) * a.lr)
 	if alphaSum > 1e-12 {
-		for _, u := range updates {
-			vecmath.AXPY(weight(u)/alphaSum*inv, u.Delta, a.corr)
+		for i, u := range updates {
+			w[i] = weight(u) / alphaSum
 		}
 	} else {
-		for _, u := range updates {
-			vecmath.AXPY(inv/float64(len(updates)), u.Delta, a.corr)
+		for i := range w {
+			w[i] = 1 / float64(len(updates))
 		}
 	}
 	if a.cfg.DisableTailoredAggregation {
 		// Ablation: uniform FedAvg aggregation, keeping only Eq. (8).
-		vecmath.Zero(a.corr)
-		for _, u := range updates {
-			vecmath.AXPY(inv/float64(len(updates)), u.Delta, a.corr)
+		for i := range w {
+			w[i] = 1 / float64(len(updates))
 		}
 	}
+	vecmath.Zero(a.corr)
+	inv := 1 / (float64(a.k) * a.lr)
+	for i, u := range updates {
+		vecmath.AXPY(w[i]*inv, u.Delta, a.corr)
+	}
+	s.ReportWeights(w)
 	vecmath.AXPY(-s.GlobalLR(), a.corr, s.W)
 
 	// Eq. (15): z^{t+1} = w^{t+1} + (1−α_{t+1})(w^{t+1} − w^t).

@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}
@@ -145,6 +145,48 @@ func TestTable3Artifact(t *testing.T) {
 			if !strings.Contains(line, "yes") {
 				t.Fatalf("TACO row missing capabilities: %s", line)
 			}
+		}
+	}
+}
+
+// TestRobustnessArtifact runs the attack grid end to end at bench scale
+// (adult only) and checks the rendered shape: every attack row, the
+// weight-mass cells, and the detection columns.
+func TestRobustnessArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the attack grid")
+	}
+	r := NewRunner(ScaleBench)
+	tbl, err := Robustness(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, atk := range robustnessAttacks() {
+		if !strings.Contains(s, atk.name) {
+			t.Fatalf("robustness render missing attack %q:\n%s", atk.name, s)
+		}
+	}
+	for _, frag := range []string{"FedAvg", "Scaffold", "FG", "TACO", "det P/R", "|0."} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("robustness render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestSuppressedClients(t *testing.T) {
+	// Clients 0 and 3 accumulated less than half the uniform share
+	// (total 4 over 4 clients -> uniform 1, threshold 0.5).
+	flagged := suppressedClients([]float64{0.2, 1.6, 1.9, 0.3})
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if flagged[i] != want[i] {
+			t.Fatalf("suppressedClients = %v, want %v", flagged, want)
+		}
+	}
+	for _, f := range suppressedClients([]float64{0, 0}) {
+		if f {
+			t.Fatal("zero-mass run must flag nobody")
 		}
 	}
 }

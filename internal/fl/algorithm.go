@@ -92,6 +92,11 @@ type Update struct {
 	// buffered asynchronous aggregation. Aggregation rules damp stale
 	// updates via StalenessDamp.
 	Staleness int
+	// Corrupt marks an upload from a client designated adversarial by
+	// the run's corruption specs (ground truth for defense metrics;
+	// window-gated attackers are marked even while dormant). Aggregation
+	// rules must NOT read it — defenses only see the update geometry.
+	Corrupt bool
 }
 
 // ServerCtx is the aggregation context. Aggregate must write the next
@@ -112,6 +117,7 @@ type ServerCtx struct {
 
 	expelled []int
 	weights  []float64
+	reported []float64
 }
 
 // Expel schedules a client's removal from all future rounds (TACO's
@@ -126,14 +132,33 @@ func (s *ServerCtx) GlobalLR() float64 { return s.Env.Cfg.globalLR() }
 // AggregationWeights returns the Eq. (6) weights over the updates (see
 // the package-level AggregationWeights for the rule), backed by a scratch
 // buffer owned by the context so steady-state aggregation allocates
-// nothing. The slice is valid until the next call on this context.
+// nothing. The slice is valid until the next call on this context. The
+// weights are also recorded as the rule's reported weights (see
+// ReportWeights); rules that re-weight further must report again.
 func (s *ServerCtx) AggregationWeights(updates []Update) []float64 {
 	if cap(s.weights) < len(updates) {
 		s.weights = make([]float64, len(updates))
 	}
 	w := s.weights[:len(updates)]
 	aggregationWeightsInto(w, updates, s.Env.Cfg.WeightByData)
+	s.ReportWeights(w)
 	return w
+}
+
+// ReportWeights records the per-update aggregation weights the rule
+// actually used this round (w[i] belongs to updates[i] of the Aggregate
+// call), copied into a context-owned buffer. The engine derives the
+// honest-vs-corrupt weight-mass metrics and per-client cumulative weights
+// from the last report of each round; rules with tailored weightings
+// (TACO's α-weights, FoolsGold's similarity weights) call this with their
+// normalized weights, and ServerCtx.AggregationWeights reports
+// automatically for every rule built on it.
+func (s *ServerCtx) ReportWeights(w []float64) {
+	if cap(s.reported) < len(w) {
+		s.reported = make([]float64, len(w))
+	}
+	s.reported = s.reported[:len(w)]
+	copy(s.reported, w)
 }
 
 // Algorithm is the hook set an FL method implements. Hooks prefixed

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/vecmath"
 )
 
@@ -79,14 +80,31 @@ func TestSortUpdatesByClient(t *testing.T) {
 	}
 }
 
-func TestFreeloaderSetValidation(t *testing.T) {
-	cfg := Config{Freeloaders: []int{1, 3}}
-	set := cfg.freeloaderSet()
-	if !set[1] || !set[3] || set[0] {
-		t.Fatalf("freeloaderSet = %v", set)
+func TestAdversarySpecNormalization(t *testing.T) {
+	// The legacy Freeloaders field compiles to a leading freeloader spec
+	// with sorted, deduplicated members, so every downstream iteration is
+	// deterministic (the old map-backed set iterated in random order).
+	cfg := Config{Freeloaders: []int{3, 1, 3}}
+	specs := cfg.adversarySpecs()
+	if len(specs) != 1 {
+		t.Fatalf("specs = %+v, want one freeloader spec", specs)
 	}
-	if (Config{}).freeloaderSet() != nil {
-		t.Fatal("empty freeloader list must produce nil set")
+	if specs[0].Kind != adversary.KindFreeloader {
+		t.Fatalf("kind = %v", specs[0].Kind)
+	}
+	if got := specs[0].Clients; len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("clients = %v, want sorted dedup [1 3]", got)
+	}
+	if (Config{}).adversarySpecs() != nil {
+		t.Fatal("empty corruption config must produce no specs")
+	}
+	both := Config{
+		Freeloaders: []int{2},
+		Adversaries: []adversary.Spec{{Kind: adversary.KindSignFlip, Frac: 0.5}},
+	}
+	specs = both.adversarySpecs()
+	if len(specs) != 2 || specs[0].Kind != adversary.KindFreeloader || specs[1].Kind != adversary.KindSignFlip {
+		t.Fatalf("combined specs = %+v", specs)
 	}
 }
 

@@ -16,7 +16,9 @@ package fl
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
+	"repro/internal/adversary"
 	"repro/internal/simclock"
 )
 
@@ -93,8 +95,17 @@ type Config struct {
 	// for the algorithms that honor static weights.
 	WeightByData bool
 	// Freeloaders lists client IDs that upload replayed global gradients
-	// instead of training (Section IV-A's lazy clients).
+	// instead of training (Section IV-A's lazy clients). Sugar for an
+	// always-on adversary.Spec{Kind: KindFreeloader, Clients: ...}; the
+	// engine normalizes it into the adversary pipeline.
 	Freeloaders []int
+	// Adversaries declares client corruptions (attack injectors) applied
+	// on top of the honest protocol: data-level label attacks,
+	// update-level delta injectors, freeloaders, and sybil camps, each
+	// optionally gated by an activation window. Specs compose per client
+	// (at most one fabricator each); an empty list is the honest run,
+	// bit-identical to a config without the field.
+	Adversaries []adversary.Spec
 	// ParticipationFraction selects the fraction of active clients that
 	// train each round (uniformly sampled per round). 0 or 1 means full
 	// participation, the paper's setting; values in between exercise the
@@ -154,6 +165,16 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fl: device %d: %w", i, err)
 		}
 	}
+	for _, id := range c.Freeloaders {
+		if id < 0 {
+			return fmt.Errorf("fl: freeloader id %d must be non-negative", id)
+		}
+	}
+	for i, spec := range c.Adversaries {
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("fl: adversary %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -197,14 +218,25 @@ func (c Config) evalEvery() int {
 	return 1
 }
 
-// freeloaderSet converts the freeloader list into a lookup set.
-func (c Config) freeloaderSet() map[int]bool {
+// adversarySpecs returns the run's full corruption declaration: the
+// legacy Freeloaders sugar normalized into a leading freeloader spec
+// (IDs sorted and deduplicated, so every downstream iteration is
+// deterministic — the old map-backed lookup iterated in random order),
+// followed by the explicit Adversaries.
+func (c Config) adversarySpecs() []adversary.Spec {
 	if len(c.Freeloaders) == 0 {
-		return nil
+		return c.Adversaries
 	}
-	set := make(map[int]bool, len(c.Freeloaders))
-	for _, id := range c.Freeloaders {
-		set[id] = true
+	ids := make([]int, len(c.Freeloaders))
+	copy(ids, c.Freeloaders)
+	sort.Ints(ids)
+	uniq := ids[:1]
+	for _, id := range ids[1:] {
+		if id != uniq[len(uniq)-1] {
+			uniq = append(uniq, id)
+		}
 	}
-	return set
+	specs := make([]adversary.Spec, 0, len(c.Adversaries)+1)
+	specs = append(specs, adversary.Spec{Kind: adversary.KindFreeloader, Clients: uniq})
+	return append(specs, c.Adversaries...)
 }

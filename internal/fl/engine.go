@@ -21,18 +21,24 @@ type Result struct {
 	FinalParams []float64
 	// Expelled maps expelled client IDs to the round of expulsion.
 	Expelled map[int]int
+	// CumWeights sums each client's reported aggregation weight across
+	// rounds (nil when the run declared no adversaries). Defense metrics
+	// derive weight-suppression detection from it: a defended corrupt
+	// client accumulates far less mass than the uniform share.
+	CumWeights []float64
 }
 
 // client is the engine's per-client identity state: the data shard, the
 // client's deterministic sampling stream, and its last reported loss.
 // Training resources (engine, parameter buffers) live in the slot pool
-// (pool.go), so a client costs O(1) model-sized memory when idle.
+// (pool.go), so a client costs O(1) model-sized memory when idle. adv is
+// the compiled corruption state (adversary.go), nil for honest clients.
 type client struct {
-	id         int
-	data       *dataset.Dataset
-	sampler    *dataset.Sampler
-	lastLoss   float64
-	freeloader bool
+	id       int
+	data     *dataset.Dataset
+	sampler  *dataset.Sampler
+	lastLoss float64
+	adv      *advClient
 }
 
 // Run trains net with the given algorithm over the client shards and
@@ -62,6 +68,7 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 		Run:         s.run,
 		FinalParams: vecmath.Clone(alg.FinalModel(s.params)),
 		Expelled:    s.expelled,
+		CumWeights:  s.cumWeights,
 	}, nil
 }
 
@@ -82,12 +89,6 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 			return nil, fmt.Errorf("fl: client %d has no data", i)
 		}
 	}
-	freeloaders := cfg.freeloaderSet()
-	for id := range freeloaders {
-		if id < 0 || id >= n {
-			return nil, fmt.Errorf("fl: freeloader id %d outside [0,%d)", id, n)
-		}
-	}
 	if len(cfg.Devices) > 0 && len(cfg.Devices) != n {
 		return nil, fmt.Errorf("fl: %d device profiles for %d clients", len(cfg.Devices), n)
 	}
@@ -100,10 +101,9 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 	dataSizes := make([]int, n)
 	for i, shard := range shards {
 		clients[i] = &client{
-			id:         i,
-			data:       shard,
-			sampler:    dataset.NewSampler(shard, root.Derive("sampler", i)),
-			freeloader: freeloaders[i],
+			id:      i,
+			data:    shard,
+			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
 		}
 		dataSizes[i] = shard.Len()
 	}
@@ -123,6 +123,15 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		active[i] = true
 	}
 
+	// Corruption streams derive strictly after every honest stream
+	// (init, samplers, participation below is taken from the same root
+	// before this point in the reference loop — see setupAdversaries),
+	// so declaring adversaries never perturbs honest clients' draws.
+	partRNG := root.Derive("participation", 0)
+	if err := setupAdversaries(&cfg, clients, root); err != nil {
+		return nil, err
+	}
+
 	s := &scheduler{
 		cfg:       cfg,
 		alg:       alg,
@@ -137,11 +146,20 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		evalEng:   nn.NewEngine(net, min(256, max(1, test.Len()))),
 		test:      test,
 		baseRound: simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs()),
-		partRNG:   root.Derive("participation", 0),
+		partRNG:   partRNG,
 		ids:       make([]int, 0, n),
 		include:   make([]int, 0, n),
 		updates:   make([]Update, n),
 		measured:  make([]float64, n),
+	}
+	for _, c := range clients {
+		if c.corrupt() {
+			s.anyAdv = true
+			break
+		}
+	}
+	if s.anyAdv {
+		s.cumWeights = make([]float64, n)
 	}
 	s.run.Rounds = make([]metrics.Round, 0, cfg.Rounds)
 	s.server = ServerCtx{Env: env, Active: active}
@@ -153,7 +171,9 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 // caller-provided delta buffer. All model-sized scratch comes from the
 // slot; the step itself is fused when the algorithm registers its
 // correction via StepCtx.FuseCorrection (one pass over d instead of two).
-func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float64, round int, global []float64) {
+// smp is the mini-batch source — the client's clean sampler, or a
+// corrupted-shard sampler while a data-level attack window is live.
+func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float64, round int, global []float64, smp *dataset.Sampler) {
 	alg.LocalInit(c.id, round, global, sl.w0)
 	alg.BeginLocal(c.id, round, sl.w0)
 	copy(sl.w, sl.w0)
@@ -171,7 +191,7 @@ func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float6
 	}
 	var lossSum float64
 	for k := 0; k < cfg.LocalSteps; k++ {
-		c.sampler.Batch(sl.batchX, sl.batchY)
+		smp.Batch(sl.batchX, sl.batchY)
 		lossSum += sl.eng.Gradient(sl.w, sl.batchX, sl.batchY, sl.grad)
 		ctx.Step = k
 		alg.GradAdjust(ctx)
@@ -187,27 +207,10 @@ func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float6
 	c.lastLoss = lossSum / float64(cfg.LocalSteps)
 }
 
-// freeloaderUpdate fabricates a lazy client's upload: it replays the
-// previous global update rescaled to look like an honest local delta
-// (Section IV-A: freeloaders "only upload previous global gradients ∆t
-// received without contributing any new local updates"). In round 0 there
-// is no previous gradient, so the freeloader uploads zeros. A freeloader
-// reports no training loss (NaN sentinel; see meanLoss).
-func freeloaderUpdate(cfg *Config, c *client, delta []float64, round int, global, prevGlobal []float64) {
-	if round == 0 {
-		vecmath.Zero(delta)
-	} else {
-		// w^t = w^{t−1} − ηg·∆^t  ⇒  ∆^t = (w^{t−1} − w^t)/ηg. An honest
-		// delta has magnitude ≈ K·ηl·∆, so replay with that scale.
-		scale := float64(cfg.LocalSteps) * cfg.LocalLR / cfg.globalLR()
-		vecmath.SubScale(delta, scale, prevGlobal, global)
-	}
-	c.lastLoss = math.NaN()
-}
-
-// meanLoss averages the honest participants' training losses. Clients
-// that did no training (freeloaders) report NaN, which keeps an honest
-// client whose true mean loss happens to be exactly 0 in the average.
+// meanLoss averages the training participants' losses. Clients that did
+// no training (fabricating adversaries: freeloaders, sybils) report NaN,
+// which keeps an honest client whose true mean loss happens to be
+// exactly 0 in the average.
 func meanLoss(updates []Update) float64 {
 	var sum float64
 	cnt := 0

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -89,6 +90,28 @@ func TestConfigValidate(t *testing.T) {
 		{"trace offset NaN", func(c *fl.Config) {
 			c.Devices = []simclock.DeviceProfile{{SpeedFactor: 1, Availability: simclock.Trace{PeriodSec: 5, OnFraction: 0.5, OffsetSec: math.NaN()}}}
 		}},
+		{"negative freeloader id", func(c *fl.Config) { c.Freeloaders = []int{-1} }},
+		{"unknown adversary kind", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: "nope", Frac: 0.5}}
+		}},
+		{"adversary selects nobody", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip}}
+		}},
+		{"adversary fraction above one", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Frac: 1.5}}
+		}},
+		{"adversary both selectors", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Clients: []int{1}, Frac: 0.5}}
+		}},
+		{"adversary duplicate client", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Clients: []int{2, 2}}}
+		}},
+		{"adversary negative scale", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindScale, Frac: 0.5, Scale: -3}}
+		}},
+		{"adversary bad window", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Frac: 0.5, Window: simclock.Trace{PeriodSec: 5}}}
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -105,6 +128,13 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"default sync", func(*fl.Config) {}},
 		{"full participation boundary", func(c *fl.Config) { c.ParticipationFraction = 1 }},
+		{"adversary stack", func(c *fl.Config) {
+			c.Adversaries = []adversary.Spec{
+				{Kind: adversary.KindLabelFlip, Frac: 0.3},
+				{Kind: adversary.KindSybil, Clients: []int{0, 2}, Scale: 2,
+					Window: simclock.Trace{PeriodSec: 10, OnFraction: 0.5}},
+			}
+		}},
 		{"deadline policy", func(c *fl.Config) {
 			c.Policy = fl.PolicyDeadline
 			c.RoundDeadlineSec = 1.5
@@ -405,6 +435,89 @@ func TestParticipationValidation(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("expected validation error for negative fraction")
 	}
+}
+
+// TestAsyncBufferAboveClientCount: with AsyncBuffer > n a client
+// contributes several updates to one server step (it re-dispatches after
+// each upload), so the per-step scratch of α-tracking algorithms must
+// track the update count, not the client count — this used to panic in
+// TACO's aggregate path.
+func TestAsyncBufferAboveClientCount(t *testing.T) {
+	net, shards, test := testSetup(t, 4)
+	cfg := quickConfig()
+	cfg.Policy = fl.PolicyAsync
+	cfg.AsyncBuffer = 15
+	res, err := fl.Run(cfg, core.New(core.Recommended()), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Run.Rounds) != cfg.Rounds {
+		t.Fatalf("recorded %d server steps, want %d", len(res.Run.Rounds), cfg.Rounds)
+	}
+}
+
+// TestTACOSuppressesCorruptMass is the headline defense property: under
+// a sign-flip attack TACO's α-weighted aggregation grants the corrupt
+// camp strictly less weight mass than FedAvg's uniform rule (which by
+// construction grants exactly the head-count share).
+func TestTACOSuppressesCorruptMass(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	cfg := quickConfig()
+	cfg.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Frac: 0.25}}
+	fedavg, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taco, err := fl.Run(cfg, core.New(core.Recommended()), net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := 2.0 / 8
+	if got := fedavg.Run.MeanCorruptWeight(); math.Abs(got-share) > 1e-9 {
+		t.Fatalf("FedAvg corrupt mass %v, want the head-count share %v", got, share)
+	}
+	if got := taco.Run.MeanCorruptWeight(); got >= fedavg.Run.MeanCorruptWeight() {
+		t.Fatalf("TACO corrupt mass %v not below FedAvg's %v", got, fedavg.Run.MeanCorruptWeight())
+	}
+}
+
+// FuzzConfigValidate: Validate never panics and never accepts a config
+// the engine would then choke on for spec-shape reasons.
+func FuzzConfigValidate(f *testing.F) {
+	f.Add(5, 3, 8, 0.05, 0.0, 0, 0.0, 0, "signflip", 0.3, 2.0, 0.0, 0.5)
+	f.Add(1, 1, 1, 1.0, 1.0, 2, 0.0, 3, "freeload", 1.0, 0.0, 10.0, 1.0)
+	f.Add(-1, 0, 0, -0.5, -1.0, 99, -2.0, -1, "nope", -0.5, -1.0, -3.0, 2.0)
+	f.Fuzz(func(t *testing.T, rounds, steps, batch int, lr, glr float64,
+		policy int, deadline float64, buffer int,
+		kind string, frac, scale, winPeriod, winOn float64) {
+		cfg := fl.Config{
+			Rounds:           rounds,
+			LocalSteps:       steps,
+			BatchSize:        batch,
+			LocalLR:          lr,
+			GlobalLR:         glr,
+			Policy:           fl.AggregationPolicy(policy),
+			RoundDeadlineSec: deadline,
+			AsyncBuffer:      buffer,
+			Adversaries: []adversary.Spec{{
+				Kind:   adversary.Kind(kind),
+				Frac:   frac,
+				Scale:  scale,
+				Window: simclock.Trace{PeriodSec: winPeriod, OnFraction: winOn},
+			}},
+		}
+		if err := cfg.Validate(); err != nil {
+			return
+		}
+		// An accepted spec must compile to a behavior and resolve members.
+		spec := cfg.Adversaries[0]
+		if spec.Behavior() == nil {
+			t.Fatalf("validated spec %+v compiles to nil behavior", spec)
+		}
+		if got := spec.Members(16); len(got) == 0 {
+			t.Fatalf("validated spec %+v selects no members for n=16", spec)
+		}
+	})
 }
 
 func TestStalenessDampedWeights(t *testing.T) {

@@ -37,16 +37,24 @@ type roundTask struct {
 	prevGlobal []float64
 	updates    []Update
 	measured   []float64
+	// now is the modeled dispatch time, which gates window-activated
+	// corruption (adversary.go).
+	now float64
 }
 
 // run executes job j (the j-th client of the round) on the worker's slot.
+// Corruption hooks live here, on the checkout path: a live fabricator
+// replaces training outright; otherwise the client trains (from its
+// corrupted shard while a data-level window is live) and the update-level
+// injector chain mutates the delta in place before upload.
 func (t *roundTask) run(j int, sl *slot) {
 	c := t.clients[t.ids[j]]
 	start := time.Now()
-	if c.freeloader {
-		freeloaderUpdate(t.cfg, c, t.updates[j].Delta, t.round, t.global, t.prevGlobal)
+	if fab := c.fabricatorAt(t.now); fab != nil {
+		c.fabricate(fab, t.cfg, t.updates[j].Delta, t.round, t.global, t.prevGlobal)
 	} else {
-		localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global)
+		localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global, c.samplerAt(t.now))
+		c.injectDelta(t.cfg, t.updates[j].Delta, t.round, t.now, t.global, t.prevGlobal)
 	}
 	t.measured[j] = time.Since(start).Seconds()
 	t.updates[j].TrainLoss = c.lastLoss
@@ -115,12 +123,13 @@ func (p *slotPool) close() { close(p.jobs) }
 // on the worker pool, checking a delta buffer out of the ring for each
 // update and filling updates/measured slot-by-slot (position j matches
 // ids[j]). It returns once every client's update is written.
-func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, global, prevGlobal []float64, updates []Update, measured []float64) {
+func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) {
 	for j, id := range ids {
 		updates[j] = Update{
 			Client:     id,
 			Delta:      p.getDelta(),
 			NumSamples: clients[id].data.Len(),
+			Corrupt:    clients[id].corrupt(),
 		}
 	}
 	p.task = roundTask{
@@ -133,6 +142,7 @@ func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids [
 		prevGlobal: prevGlobal,
 		updates:    updates,
 		measured:   measured,
+		now:        now,
 	}
 	p.wg.Add(len(ids))
 	for j := range ids {

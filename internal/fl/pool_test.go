@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/adversary"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/partition"
@@ -33,67 +34,84 @@ func poolSetup(t testing.TB, n int) (*nn.Network, []*dataset.Dataset, *dataset.D
 // TestSteadyStateAllocs pins the zero-allocation property of warmed-up
 // rounds: once the slot pool's delta ring and the scheduler's reusable
 // buffers reach their high-water mark, a round allocates nothing under
-// any aggregation policy. Evaluation is pushed past the measured window
+// any aggregation policy — including with update-level attack injectors
+// (sign flip, scaling, delta noise; adversary.go) live on the delta
+// checkout path, whose per-client streams and reusable contexts are all
+// provisioned at setup. Evaluation is pushed past the measured window
 // (EvalEvery) because test-set accuracy is on the eval cadence, not the
 // per-round hot path.
 func TestSteadyStateAllocs(t *testing.T) {
 	net, shards, test := poolSetup(t, 8)
-	for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
-		t.Run(policy.String(), func(t *testing.T) {
-			cfg := Config{
-				Rounds:     200,
-				LocalSteps: 3,
-				BatchSize:  8,
-				LocalLR:    0.05,
-				Seed:       11,
-				EvalEvery:  1000,
-				Policy:     policy,
+	injectors := []adversary.Spec{
+		{Kind: adversary.KindSignFlip, Clients: []int{1}},
+		{Kind: adversary.KindScale, Clients: []int{3}, Scale: 2},
+		{Kind: adversary.KindDeltaNoise, Clients: []int{3, 5}, Scale: 1},
+	}
+	for _, adv := range []bool{false, true} {
+		for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
+			name := policy.String()
+			if adv {
+				name += "-injectors"
 			}
-			switch policy {
-			case PolicyDeadline:
-				// Generous deadline: nobody drops, rounds stay uniform.
-				cfg.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, simclock.Plain())
-			case PolicyAsync:
-				cfg.AsyncBuffer = 3
-			}
-			s, err := newScheduler(cfg, goldenFedAvg{}, net, shards, test)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer s.pool.close()
-
-			round := 0
-			var step func() (bool, error)
-			switch policy {
-			case PolicyDeadline:
-				step = func() (bool, error) { return s.deadlineRound(round) }
-			case PolicyAsync:
-				if err := s.setupAsync(); err != nil {
+			t.Run(name, func(t *testing.T) {
+				cfg := Config{
+					Rounds:     200,
+					LocalSteps: 3,
+					BatchSize:  8,
+					LocalLR:    0.05,
+					Seed:       11,
+					EvalEvery:  1000,
+					Policy:     policy,
+				}
+				if adv {
+					cfg.Adversaries = injectors
+				}
+				switch policy {
+				case PolicyDeadline:
+					// Generous deadline: nobody drops, rounds stay uniform.
+					cfg.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, simclock.Plain())
+				case PolicyAsync:
+					cfg.AsyncBuffer = 3
+				}
+				s, err := newScheduler(cfg, goldenFedAvg{}, net, shards, test)
+				if err != nil {
 					t.Fatal(err)
 				}
-				step = func() (bool, error) { return s.asyncStep(round) }
-			default:
-				step = func() (bool, error) { return s.syncRound(round) }
-			}
+				defer s.pool.close()
 
-			// Warm up: first rounds grow the delta ring, the engines'
-			// backward buffers, and the metric history's capacity.
-			for ; round < 5; round++ {
-				if halt, err := step(); err != nil || halt {
-					t.Fatalf("warmup round %d: halt=%v err=%v", round, halt, err)
+				round := 0
+				var step func() (bool, error)
+				switch policy {
+				case PolicyDeadline:
+					step = func() (bool, error) { return s.deadlineRound(round) }
+				case PolicyAsync:
+					if err := s.setupAsync(); err != nil {
+						t.Fatal(err)
+					}
+					step = func() (bool, error) { return s.asyncStep(round) }
+				default:
+					step = func() (bool, error) { return s.syncRound(round) }
 				}
-			}
-			allocs := testing.AllocsPerRun(30, func() {
-				halt, err := step()
-				if err != nil || halt {
-					t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+
+				// Warm up: first rounds grow the delta ring, the engines'
+				// backward buffers, and the metric history's capacity.
+				for ; round < 5; round++ {
+					if halt, err := step(); err != nil || halt {
+						t.Fatalf("warmup round %d: halt=%v err=%v", round, halt, err)
+					}
 				}
-				round++
+				allocs := testing.AllocsPerRun(30, func() {
+					halt, err := step()
+					if err != nil || halt {
+						t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+					}
+					round++
+				})
+				if allocs != 0 {
+					t.Fatalf("steady-state %s round allocates %.1f objects/round, want 0", name, allocs)
+				}
 			})
-			if allocs != 0 {
-				t.Fatalf("steady-state %s round allocates %.1f objects/round, want 0", policy, allocs)
-			}
-		})
+		}
 	}
 }
 

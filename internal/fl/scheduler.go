@@ -60,6 +60,15 @@ type scheduler struct {
 	// now is the virtual clock (modeled seconds since the run started).
 	now float64
 
+	// Adversary bookkeeping (adversary.go): anyAdv flags a run with at
+	// least one corrupt client; cumWeights accumulates each client's
+	// reported aggregation weight; lastHonestW/lastCorruptW hold the
+	// round's honest-vs-corrupt weight-mass split for the metric record.
+	anyAdv       bool
+	cumWeights   []float64
+	lastHonestW  float64
+	lastCorruptW float64
+
 	// Async-policy state (setupAsync/asyncStep).
 	pending     []flight
 	buffer      []Update
@@ -105,7 +114,9 @@ func (s *scheduler) aggregate(t int, updates []Update) (diverged bool) {
 	s.server.W = s.params
 	s.server.WPrev = s.wPrev
 	s.server.expelled = s.server.expelled[:0]
+	s.server.reported = s.server.reported[:0]
 	s.alg.Aggregate(&s.server, updates)
+	s.recordWeightMass(updates)
 	for _, id := range s.server.expelled {
 		if s.active[id] {
 			s.active[id] = false
@@ -118,6 +129,28 @@ func (s *scheduler) aggregate(t int, updates []Update) (diverged bool) {
 		return true
 	}
 	return false
+}
+
+// recordWeightMass splits the round's reported aggregation weights into
+// honest and corrupt mass and folds them into the per-client cumulative
+// weights — the data behind the defense metrics (how much influence the
+// rule actually granted attackers). Skipped entirely for adversary-free
+// runs (the golden sync trace stays byte-identical) and when the
+// aggregation rule reported nothing for this update set.
+func (s *scheduler) recordWeightMass(updates []Update) {
+	s.lastHonestW, s.lastCorruptW = 0, 0
+	if !s.anyAdv || len(s.server.reported) != len(updates) {
+		return
+	}
+	for i, u := range updates {
+		w := s.server.reported[i]
+		if u.Corrupt {
+			s.lastCorruptW += w
+		} else {
+			s.lastHonestW += w
+		}
+		s.cumWeights[u.Client] += w
+	}
 }
 
 // releaseDeltas returns the round's upload buffers to the slot-pool ring
@@ -143,13 +176,15 @@ func (s *scheduler) recordAccuracy(t int, rec *metrics.Round) {
 	}
 }
 
-// slowestHonest returns the largest measured wall time among non-
-// freeloader participants (the paper measures the slowest client per
-// round; freeloaders do no work).
-func (s *scheduler) slowestHonest(ids []int, measured []float64) float64 {
+// slowestHonest returns the largest measured wall time among training
+// participants (the paper measures the slowest client per round;
+// fabricating adversaries — freeloaders, sybils — do no work). at is the
+// round's dispatch time, which decides whether a windowed fabricator was
+// live.
+func (s *scheduler) slowestHonest(ids []int, measured []float64, at float64) float64 {
 	var slowest float64
 	for j, id := range ids {
-		if s.clients[id].freeloader {
+		if s.clients[id].fabricatorAt(at) != nil {
 			continue
 		}
 		if measured[j] > slowest {
@@ -187,19 +222,19 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 	}
 	updates := s.updates[:len(ids)]
 	measured := s.measured[:len(ids)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, t, s.params, s.wPrev, updates, measured)
+	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, t, s.now, s.params, s.wPrev, updates, measured)
 
 	// The synchronous server waits for the slowest honest device.
 	var slowestModeled float64
 	for _, id := range ids {
-		if s.clients[id].freeloader {
+		if s.clients[id].fabricatorAt(s.now) != nil {
 			continue
 		}
 		if m := s.finishRel(id, s.now); m > slowestModeled {
 			slowestModeled = m
 		}
 	}
-	slowestMeasured := s.slowestHonest(ids, measured)
+	slowestMeasured := s.slowestHonest(ids, measured, s.now)
 
 	halt = s.aggregate(t, updates)
 	trainLoss := meanLoss(updates)
@@ -213,6 +248,8 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		SlowestModeledSec:  slowestModeled,
 		SlowestMeasuredSec: slowestMeasured,
 		MeanAlpha:          s.alg.MeanAlpha(),
+		HonestWeight:       s.lastHonestW,
+		CorruptWeight:      s.lastCorruptW,
 	}
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
@@ -286,11 +323,11 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 
 	updates := s.updates[:len(include)]
 	measured := s.measured[:len(include)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.params, s.wPrev, updates, measured)
+	s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
 
 	halt = s.aggregate(t, updates)
 	trainLoss := meanLoss(updates)
-	slowestMeasured := s.slowestHonest(include, measured)
+	slowestMeasured := s.slowestHonest(include, measured, s.now)
 	s.releaseDeltas(updates)
 	if halt {
 		return true, nil
@@ -301,6 +338,8 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		SlowestModeledSec:  roundDur,
 		SlowestMeasuredSec: slowestMeasured,
 		MeanAlpha:          s.alg.MeanAlpha(),
+		HonestWeight:       s.lastHonestW,
+		CorruptWeight:      s.lastCorruptW,
 		DroppedClients:     dropped,
 	}
 	s.recordAccuracy(t, &rec)
@@ -330,7 +369,7 @@ type flight struct {
 func (s *scheduler) dispatch(ids []int, at float64) {
 	updates := s.updates[:len(ids)]
 	measured := s.measured[:len(ids)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, s.version, s.params, s.wPrev, updates, measured)
+	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, s.version, at, s.params, s.wPrev, updates, measured)
 	for j, id := range ids {
 		s.pending[id] = flight{
 			update:   updates[j],
@@ -439,6 +478,8 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		SlowestModeledSec:  s.now - s.lastAgg,
 		SlowestMeasuredSec: s.bufMeasured,
 		MeanAlpha:          s.alg.MeanAlpha(),
+		HonestWeight:       s.lastHonestW,
+		CorruptWeight:      s.lastCorruptW,
 		MeanStaleness:      float64(staleSum) / float64(len(s.buffer)),
 		MaxStaleness:       staleMax,
 	}

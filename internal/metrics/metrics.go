@@ -33,6 +33,13 @@ type Round struct {
 	// DroppedClients counts participants dropped past the round deadline
 	// (deadline policy only; 0 otherwise).
 	DroppedClients int
+	// HonestWeight and CorruptWeight split the aggregation-weight mass
+	// the server granted this round between honest and adversarial
+	// clients (they sum to ~1 when the aggregation rule reports weights;
+	// both are 0 in adversary-free runs). A defense is working when
+	// CorruptWeight stays below the corrupt clients' head-count share.
+	HonestWeight  float64
+	CorruptWeight float64
 }
 
 // Run is the full history of one FL training run.
@@ -140,6 +147,69 @@ func (r *Run) PeakStaleness() int {
 		}
 	}
 	return peak
+}
+
+// MeanCorruptWeight averages the corrupt aggregation-weight mass over the
+// rounds that recorded a weight split (0 when none did — adversary-free
+// runs or rules that report no weights).
+func (r *Run) MeanCorruptWeight() float64 {
+	var sum float64
+	n := 0
+	for _, rec := range r.Rounds {
+		if rec.HonestWeight == 0 && rec.CorruptWeight == 0 {
+			continue
+		}
+		sum += rec.CorruptWeight
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Detection scores a defense's corrupt-client identification — TACO's
+// κ-threshold expulsion (Eq. 10) or weight-suppression flagging for
+// similarity defenses — against the ground-truth corrupt set.
+type Detection struct {
+	TP, FP, FN, TN int
+}
+
+// EvalDetection compares a flagged set against the ground truth (both
+// indexed by client). The slices must have equal length.
+func EvalDetection(flagged, truth []bool) Detection {
+	var d Detection
+	for i, f := range flagged {
+		switch {
+		case f && truth[i]:
+			d.TP++
+		case f && !truth[i]:
+			d.FP++
+		case !f && truth[i]:
+			d.FN++
+		default:
+			d.TN++
+		}
+	}
+	return d
+}
+
+// Precision returns TP/(TP+FP); by convention 1 when nothing was flagged
+// (no false alarms were raised).
+func (d Detection) Precision() float64 {
+	if d.TP+d.FP == 0 {
+		return 1
+	}
+	return float64(d.TP) / float64(d.TP+d.FP)
+}
+
+// Recall returns TP/(TP+FN); by convention 1 when there was nothing to
+// detect.
+func (d Detection) Recall() float64 {
+	if d.TP+d.FN == 0 {
+		return 1
+	}
+	return float64(d.TP) / float64(d.TP+d.FN)
 }
 
 // MedianSlowestModeledSec returns the median per-round modeled time of the

@@ -128,3 +128,50 @@ func TestSchedulerColumnsEmptyRun(t *testing.T) {
 		t.Fatal("empty run must report zero scheduler metrics")
 	}
 }
+
+func TestMeanCorruptWeight(t *testing.T) {
+	r := &Run{}
+	// Rounds without a recorded weight split are excluded from the mean.
+	r.Append(Round{Index: 0})
+	r.Append(Round{Index: 1, HonestWeight: 0.7, CorruptWeight: 0.3})
+	r.Append(Round{Index: 2, HonestWeight: 0.9, CorruptWeight: 0.1})
+	if got := r.MeanCorruptWeight(); got < 0.1999 || got > 0.2001 {
+		t.Fatalf("MeanCorruptWeight = %v, want 0.2", got)
+	}
+	if got := (&Run{}).MeanCorruptWeight(); got != 0 {
+		t.Fatalf("empty run MeanCorruptWeight = %v", got)
+	}
+	clean := &Run{}
+	clean.Append(Round{Index: 0})
+	if got := clean.MeanCorruptWeight(); got != 0 {
+		t.Fatalf("adversary-free run MeanCorruptWeight = %v", got)
+	}
+}
+
+func TestEvalDetection(t *testing.T) {
+	truth := []bool{true, true, false, false, true}
+	flagged := []bool{true, false, true, false, true}
+	d := EvalDetection(flagged, truth)
+	if d.TP != 2 || d.FP != 1 || d.FN != 1 || d.TN != 1 {
+		t.Fatalf("detection counts = %+v", d)
+	}
+	if p := d.Precision(); p < 0.666 || p > 0.667 {
+		t.Fatalf("precision = %v, want 2/3", p)
+	}
+	if r := d.Recall(); r < 0.666 || r > 0.667 {
+		t.Fatalf("recall = %v, want 2/3", r)
+	}
+	// Conventions: no flags raised -> precision 1; nothing to find ->
+	// recall 1.
+	none := EvalDetection([]bool{false, false}, []bool{true, false})
+	if none.Precision() != 1 {
+		t.Fatalf("no-flag precision = %v, want 1", none.Precision())
+	}
+	if none.Recall() != 0 {
+		t.Fatalf("missed-all recall = %v, want 0", none.Recall())
+	}
+	empty := EvalDetection([]bool{false}, []bool{false})
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatalf("clean detection = P %v R %v, want 1/1", empty.Precision(), empty.Recall())
+	}
+}
