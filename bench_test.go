@@ -9,9 +9,11 @@ package taco_test
 import (
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"testing"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/nn"
@@ -111,6 +113,11 @@ func BenchmarkScale1k(b *testing.B) { benchArtifact(b, "scale1k") }
 // §6): every injector kind × FedAvg/Scaffold/FoolsGold/TACO, reporting
 // per-attack honest-vs-corrupt aggregation weight mass and detection P/R.
 func BenchmarkRobustness(b *testing.B) { benchArtifact(b, "robustness") }
+
+// BenchmarkCompression runs the uplink-codec grid (DESIGN.md §7):
+// dense/top-k/int8 × FedAvg/Scaffold/TACO, reporting accuracy next to
+// bytes on wire and compression ratio.
+func BenchmarkCompression(b *testing.B) { benchArtifact(b, "compression") }
 
 // --- Substrate micro-benchmarks ---
 
@@ -244,13 +251,15 @@ func BenchmarkIm2col(b *testing.B) {
 }
 
 // BenchmarkAXPY measures the hot vector kernel used by every correction.
+// Setup runs before recordBench's memstats snapshot, so the recorded
+// B/op reflects the kernel (0 allocs), not the harness buffers.
 func BenchmarkAXPY(b *testing.B) {
-	defer recordBench(b)()
 	x := make([]float64, 4096)
 	y := make([]float64, 4096)
 	for i := range x {
 		x[i] = float64(i)
 	}
+	defer recordBench(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vecmath.AXPY(0.5, x, y)
@@ -258,8 +267,8 @@ func BenchmarkAXPY(b *testing.B) {
 }
 
 // BenchmarkCosineSimilarity measures the Eq. (7) direction factor.
+// Setup precedes recordBench for an allocation-free baseline, as above.
 func BenchmarkCosineSimilarity(b *testing.B) {
-	defer recordBench(b)()
 	r := rng.New(3)
 	x := make([]float64, 4096)
 	y := make([]float64, 4096)
@@ -267,9 +276,105 @@ func BenchmarkCosineSimilarity(b *testing.B) {
 		x[i] = r.Normal(0, 1)
 		y[i] = r.Normal(0, 1)
 	}
+	defer recordBench(b)()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vecmath.CosineSimilarity(x, y)
+	}
+}
+
+// BenchmarkCodec measures one uplink encode per codec at a model-sized
+// vector (the per-client cost the compression substrate adds to a
+// round), reporting effective input MB/s.
+func BenchmarkCodec(b *testing.B) {
+	const d = 65536
+	r := rng.New(5)
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	scratch := make([]float64, d)
+	codecs := []compress.Codec{
+		compress.None{},
+		&compress.TopK{Frac: 0.01},
+		&compress.TopK{Frac: 0.10},
+		&compress.Int8{Chunk: compress.DefaultChunk},
+	}
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			var p compress.Payload
+			c.Grow(&p, d)
+			stream := rng.New(9)
+			defer recordBench(b)()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Encode(&p, x, stream, scratch)
+			}
+			b.ReportMetric(float64(8*d)*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+		})
+	}
+}
+
+// BenchmarkSparseAggregate contrasts dense and sparse server work for
+// one aggregation pass over 32 uploads of a d=65536 model: the dense
+// baseline AXPYs every coordinate of every update, the sparse rows
+// scatter only the k kept coordinates (vecmath.ScatterAXPY), which is
+// the O(n·k)-vs-O(n·d) win the top-k codec buys the scheduler.
+func BenchmarkSparseAggregate(b *testing.B) {
+	const d, n = 65536, 32
+	r := rng.New(11)
+	dst := make([]float64, d)
+	dense := make([][]float64, n)
+	for u := range dense {
+		dense[u] = make([]float64, d)
+		for i := range dense[u] {
+			dense[u][i] = r.Normal(0, 1)
+		}
+	}
+	b.Run("dense", func(b *testing.B) {
+		defer recordBench(b)()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for u := range dense {
+				vecmath.AXPY(1.0/n, dense[u], dst)
+			}
+		}
+	})
+	for _, frac := range []float64{0.01, 0.10} {
+		k := int(frac * d)
+		idx := make([][]int32, n)
+		val := make([][]float64, n)
+		for u := range idx {
+			perm := r.Perm(d)[:k]
+			sort.Ints(perm)
+			idx[u] = make([]int32, k)
+			val[u] = make([]float64, k)
+			for j, pi := range perm {
+				idx[u][j] = int32(pi)
+				val[u][j] = dense[u][pi]
+			}
+		}
+		name := fmt.Sprintf("topk%d%%", int(frac*100))
+		b.Run(name, func(b *testing.B) {
+			defer recordBench(b)()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for u := range idx {
+					vecmath.ScatterAXPY(1.0/n, idx[u], val[u], dst)
+				}
+			}
+		})
+		b.Run(name+"-gatherdot", func(b *testing.B) {
+			defer recordBench(b)()
+			b.ResetTimer()
+			var s float64
+			for i := 0; i < b.N; i++ {
+				for u := range idx {
+					s += vecmath.GatherDot(idx[u], val[u], dst)
+				}
+			}
+			_ = s
+		})
 	}
 }
 

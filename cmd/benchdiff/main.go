@@ -1,0 +1,126 @@
+// Command benchdiff compares a fresh results/BENCH_results.json against a
+// committed baseline and fails (exit 1) when a pinned kernel regressed by
+// more than the threshold in ns/op — the cheap CI gate behind the bench
+// smoke step.
+//
+// Usage:
+//
+//	benchdiff -baseline /tmp/bench_baseline.json -fresh results/BENCH_results.json
+//	benchdiff -baseline old.json -fresh new.json -threshold 0.5 -pins BenchmarkCodec,BenchmarkGEMM
+//
+// Only benchmarks present in both files and matching a pinned name prefix
+// are compared, so a filtered bench run gates exactly the kernels it
+// measured. Entries faster than -min-ns in the baseline are skipped:
+// below that, one-shot (-benchtime=1x) timer noise dominates any real
+// signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchResult mirrors the record layout of results/BENCH_results.json
+// (bench_json_test.go).
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// defaultPins are the kernel families whose ns/op the gate watches: the
+// compute substrate's GEMM and gradient paths, the fused and sparse
+// vector kernels, and the uplink codecs. Experiment-grade benchmarks
+// (whole training grids) are deliberately not pinned — their runtimes
+// swing with scheduling, not kernel regressions.
+const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity"
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
+		freshPath    = flag.String("fresh", "results/BENCH_results.json", "freshly produced JSON")
+		threshold    = flag.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")
+		minNs        = flag.Float64("min-ns", 1000, "skip baseline entries faster than this (timer noise)")
+		pins         = flag.String("pins", defaultPins, "comma-separated benchmark name prefixes to gate")
+	)
+	flag.Parse()
+	if *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	prefixes := strings.Split(*pins, ",")
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	compared, regressed := 0, 0
+	for _, name := range names {
+		if !pinned(name, prefixes) {
+			continue
+		}
+		base, ok := baseline[name]
+		if !ok || base.NsPerOp <= *minNs {
+			continue
+		}
+		compared++
+		delta := fresh[name].NsPerOp/base.NsPerOp - 1
+		status := "ok"
+		if delta > *threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, base.NsPerOp, fresh[name].NsPerOp, 100*delta, status)
+	}
+	fmt.Printf("benchdiff: %d pinned kernels compared, %d regressed beyond %.0f%%\n",
+		compared, regressed, 100**threshold)
+	if regressed > 0 {
+		os.Exit(1)
+	}
+}
+
+// pinned reports whether the benchmark name matches a gated prefix.
+func pinned(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if p != "" && strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// load reads one bench-results file into a by-name map.
+func load(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var records []benchResult
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]benchResult, len(records))
+	for _, r := range records {
+		out[r.Name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPinned(t *testing.T) {
+	prefixes := []string{"BenchmarkCodec", "BenchmarkGEMM"}
+	for name, want := range map[string]bool{
+		"BenchmarkCodec/topk:0.01":   true,
+		"BenchmarkGEMM/square64":     true,
+		"BenchmarkFig2RoundAccuracy": false,
+		"":                           false,
+	} {
+		if got := pinned(name, prefixes); got != want {
+			t.Fatalf("pinned(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if pinned("BenchmarkAnything", []string{""}) {
+		t.Fatal("empty prefix must match nothing")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`[{"name":"BenchmarkX","n":3,"ns_per_op":42.5}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := m["BenchmarkX"]; !ok || r.NsPerOp != 42.5 || r.N != 3 {
+		t.Fatalf("load = %+v", m)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := load(bad); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}

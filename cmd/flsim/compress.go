@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+)
+
+// buildCompress turns the -compress/-topk flags into a codec spec. The
+// -compress value uses compress.ParseSpec syntax ("kind[:param]"); the
+// dedicated -topk flag, when positive, overrides the inline fraction.
+// Returns the zero (dense-transport) spec when no codec was requested.
+func buildCompress(spec string, topkFrac float64) (compress.Spec, error) {
+	s, err := compress.ParseSpec(spec)
+	if err != nil {
+		return compress.Spec{}, err
+	}
+	if topkFrac != 0 {
+		if s.Kind != compress.KindTopK {
+			return compress.Spec{}, fmt.Errorf("-topk needs -compress topk")
+		}
+		s.TopKFrac = topkFrac
+	}
+	if err := s.Validate(); err != nil {
+		return compress.Spec{}, err
+	}
+	return s, nil
+}

@@ -8,7 +8,8 @@
 //	flsim -dataset fmnist -alg TACO -freeloaders 8 -detect
 //	flsim -dataset adult -alg TACO -clients 1000 -partition dir -phi 0.3 -memprofile heap.pprof
 //	flsim -dataset adult -alg FG -attack signflip -attack-frac 0.3
-//	flsim -experiment robustness
+//	flsim -dataset fmnist -alg TACO -compress topk -topk 0.01
+//	flsim -experiment compression
 package main
 
 import (
@@ -59,6 +60,8 @@ func run() error {
 		deadlineSec = flag.Float64("deadline", 0, "deadline policy: modeled seconds per round (0 = 1.5× the nominal modeled round)")
 		buffer      = flag.Int("buffer", 0, "async policy: buffered updates per server step (0 = clients/4, min 1)")
 		hetero      = flag.String("hetero", "uniform", "device fleet: "+strings.Join(simclock.FleetNames(), "|"))
+		compressStr = flag.String("compress", "", "uplink codec: none|topk[:frac]|int8[:chunk] (default dense uploads)")
+		topkFrac    = flag.Float64("topk", 0, "kept-coordinate fraction for -compress topk (0 = the codec's, default 0.01)")
 		attack      = flag.String("attack", "", "corrupt clients: kind[:frac[:scale]], kind one of "+strings.Join(adversary.KindNames(), "|"))
 		attackFrac  = flag.Float64("attack-frac", 0, "fraction of clients corrupted by -attack (0 = the spec's, default 0.25)")
 		attackScale = flag.Float64("attack-scale", 0, "magnitude of -attack (0 = the kind's default)")
@@ -199,6 +202,12 @@ func run() error {
 			cfg.Freeloaders = append(cfg.Freeloaders, id)
 		}
 	}
+	codecSpec, err := buildCompress(*compressStr, *topkFrac)
+	if err != nil {
+		return err
+	}
+	cfg.Compress = codecSpec
+
 	spec, err := buildAttack(*attack, *attackFrac, *attackScale)
 	if err != nil {
 		return err
@@ -226,6 +235,8 @@ func run() error {
 	}
 	fmt.Printf("\n%s on %s: final %.4f, best %.4f  %s\n",
 		alg.Name(), *dsName, run.FinalAccuracy(), run.BestAccuracy(), report.Sparkline(accs, 0, 1))
+	fmt.Printf("uplink: %.2f MiB (codec %s, ratio %.1fx)\n",
+		float64(run.TotalUplinkBytes())/(1<<20), cfg.Compress, run.MeanCompressionRatio())
 	if policy != fl.PolicySync && len(run.Rounds) > 0 {
 		fmt.Printf("policy %s (fleet %s): t_wall %.3fs, dropped %d, mean staleness %.2f (peak %d)\n",
 			policy, *hetero, run.Rounds[len(run.Rounds)-1].CumModeledSec,

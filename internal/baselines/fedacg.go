@@ -64,8 +64,8 @@ func (a *FedACG) GradAdjust(ctx *fl.StepCtx) {
 func (a *FedACG) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	weights := s.AggregationWeights(updates)
 	vecmath.Zero(a.avg)
-	for i, u := range updates {
-		vecmath.AXPY(weights[i], u.Delta, a.avg)
+	for i := range updates {
+		updates[i].AddScaled(weights[i], a.avg)
 	}
 	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
 	for j := range a.m {

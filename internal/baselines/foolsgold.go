@@ -45,13 +45,23 @@ func (a *FoolsGold) Setup(env *fl.Env) {
 func (a *FoolsGold) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	n := len(updates)
 	vecmath.Zero(a.mean)
-	for _, u := range updates {
-		vecmath.AXPY(1/float64(n), u.Delta, a.mean)
+	for i := range updates {
+		updates[i].AddScaled(1/float64(n), a.mean)
 	}
 	weights := make([]float64, n)
 	var total float64
-	for i, u := range updates {
-		rho := vecmath.CosineSimilarity(a.mean, u.Delta)
+	// The mean's rescaled norm is hoisted out of the similarity loop so
+	// sparse uploads pay O(k) per cosine, not O(d).
+	meanMax := vecmath.MaxAbs(a.mean)
+	var meanNorm float64
+	if meanMax != 0 {
+		meanNorm = vecmath.Norm2Safe(a.mean) / meanMax
+	}
+	for i := range updates {
+		var rho float64
+		if meanMax != 0 {
+			rho = updates[i].CosineWithNorm(a.mean, meanMax, meanNorm)
+		}
 		if rho < 0 {
 			rho = 0
 		}
@@ -59,8 +69,8 @@ func (a *FoolsGold) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 		total += weights[i]
 	}
 	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
-	for i, u := range updates {
-		vecmath.AXPY(-weights[i]/total*scale, u.Delta, s.W)
+	for i := range updates {
+		updates[i].AddScaled(-weights[i]/total*scale, s.W)
 	}
 	// Report the normalized similarity weights for the defense metrics
 	// (honest-vs-corrupt weight mass, suppression detection).

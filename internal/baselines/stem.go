@@ -111,9 +111,10 @@ func (a *STEM) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 		w[i] = fl.StalenessDamp(u.Staleness) / dampSum
 	}
 	s.ReportWeights(w)
-	for _, u := range updates {
+	for i := range updates {
+		u := &updates[i]
 		scale := s.GlobalLR() * fl.StalenessDamp(u.Staleness) / (float64(a.k) * dampSum * a.lr)
-		vecmath.AXPY(-scale, u.Delta, s.W)
+		u.AddScaled(-scale, s.W)
 		// Clients that never trained (freeloaders) have no momentum yet;
 		// their contribution is the zero vector.
 		if v := a.v[u.Client]; v != nil {

@@ -1,0 +1,378 @@
+package compress
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+func TestParseSpec(t *testing.T) {
+	good := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"none", Spec{}},
+		{"topk", Spec{Kind: KindTopK}},
+		{"topk:0.05", Spec{Kind: KindTopK, TopKFrac: 0.05}},
+		{"topk:1", Spec{Kind: KindTopK, TopKFrac: 1}},
+		{"int8", Spec{Kind: KindInt8}},
+		{"int8:256", Spec{Kind: KindInt8, Chunk: 256}},
+	}
+	for _, tt := range good {
+		got, err := ParseSpec(tt.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tt.in, err)
+		}
+		if got != tt.want {
+			t.Fatalf("ParseSpec(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+	bad := []string{"gzip", "topk:", "topk:nan", "topk:-0.1", "topk:1.5", "int8:x", "int8:-4", "none:1"}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Fatalf("ParseSpec(%q): expected an error", in)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []Spec{
+		{Kind: "gzip"},
+		{Kind: KindNone, TopKFrac: 0.5},
+		{Kind: KindInt8, TopKFrac: 0.5},
+		{Kind: KindTopK, TopKFrac: -0.1},
+		{Kind: KindTopK, TopKFrac: 1.5},
+		{Kind: KindTopK, TopKFrac: math.NaN()},
+		{Kind: KindTopK, Chunk: 16},
+		{Kind: KindInt8, Chunk: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("Validate(%+v): expected an error", s)
+		}
+	}
+	for _, s := range []Spec{{}, {Kind: KindTopK}, {Kind: KindTopK, TopKFrac: 0.1}, {Kind: KindInt8, Chunk: 64}} {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Validate(%+v): %v", s, err)
+		}
+	}
+}
+
+func TestNoneRoundtrip(t *testing.T) {
+	r := rng.New(1)
+	x := randVec(r, 100)
+	var p Payload
+	c := None{}
+	c.Encode(&p, x, nil, nil)
+	if p.Bytes() != 800 {
+		t.Fatalf("None payload Bytes = %d, want 800", p.Bytes())
+	}
+	dst := make([]float64, len(x))
+	c.Decode(dst, &p)
+	for i := range x {
+		if dst[i] != x[i] {
+			t.Fatalf("None roundtrip changed x[%d]: %v != %v", i, dst[i], x[i])
+		}
+	}
+}
+
+func TestTopKSelection(t *testing.T) {
+	x := []float64{0.1, -3, 0.5, 2, -0.2, 0.5, 1}
+	c := &TopK{Frac: 3.0 / 7}
+	var p Payload
+	scratch := make([]float64, len(x))
+	c.Encode(&p, x, nil, scratch)
+	wantIdx := []int32{1, 3, 6} // |−3|, |2|, |1|
+	if len(p.Idx) != len(wantIdx) {
+		t.Fatalf("kept %d coordinates, want %d", len(p.Idx), len(wantIdx))
+	}
+	for j := range wantIdx {
+		if p.Idx[j] != wantIdx[j] {
+			t.Fatalf("Idx = %v, want %v", p.Idx, wantIdx)
+		}
+		if p.Val[j] != x[wantIdx[j]] {
+			t.Fatalf("Val[%d] = %v, want %v", j, p.Val[j], x[wantIdx[j]])
+		}
+	}
+}
+
+// TestTopKTieBreak pins the determinism contract: magnitude ties at the
+// threshold are broken by the smallest index.
+func TestTopKTieBreak(t *testing.T) {
+	x := []float64{1, -1, 1, 1, -1}
+	c := &TopK{Frac: 0.4} // k = 2 of 5
+	var p Payload
+	c.Encode(&p, x, nil, make([]float64, len(x)))
+	if len(p.Idx) != 2 || p.Idx[0] != 0 || p.Idx[1] != 1 {
+		t.Fatalf("tie-broken Idx = %v, want [0 1]", p.Idx)
+	}
+}
+
+func TestTopKProperties(t *testing.T) {
+	r := rng.New(5)
+	for _, d := range []int{1, 7, 100, 4096} {
+		for _, frac := range []float64{0.01, 0.1, 0.5, 1} {
+			x := randVec(r, d)
+			c := &TopK{Frac: frac}
+			var p Payload
+			c.Encode(&p, x, nil, make([]float64, d))
+			k := c.K(d)
+			if len(p.Idx) != k || len(p.Val) != k {
+				t.Fatalf("d=%d frac=%v: kept %d/%d coordinates, want %d", d, frac, len(p.Idx), len(p.Val), k)
+			}
+			// Indices ascending and unique; every kept magnitude ≥ every
+			// dropped magnitude.
+			kept := make(map[int32]bool, k)
+			minKept := math.Inf(1)
+			for j, i := range p.Idx {
+				if j > 0 && p.Idx[j] <= p.Idx[j-1] {
+					t.Fatalf("d=%d frac=%v: indices not ascending: %v", d, frac, p.Idx)
+				}
+				kept[i] = true
+				if m := math.Abs(p.Val[j]); m < minKept {
+					minKept = m
+				}
+				if p.Val[j] != x[i] {
+					t.Fatalf("d=%d frac=%v: Val[%d]=%v, want x[%d]=%v", d, frac, j, p.Val[j], i, x[i])
+				}
+			}
+			for i, v := range x {
+				if !kept[int32(i)] && math.Abs(v) > minKept {
+					t.Fatalf("d=%d frac=%v: dropped |x[%d]|=%v > smallest kept %v", d, frac, i, math.Abs(v), minKept)
+				}
+			}
+			// Decode is the kept coordinates over zeros.
+			dst := make([]float64, d)
+			c.Decode(dst, &p)
+			for i := range x {
+				if kept[int32(i)] && dst[i] != x[i] || !kept[int32(i)] && dst[i] != 0 {
+					t.Fatalf("d=%d frac=%v: decode[%d]=%v", d, frac, i, dst[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInt8Roundtrip(t *testing.T) {
+	r := rng.New(9)
+	for _, d := range []int{1, 63, 64, 65, 1000} {
+		x := randVec(r, d)
+		c := &Int8{Chunk: 64}
+		var p Payload
+		c.Encode(&p, x, rng.New(3), nil)
+		if wantChunks := (d + 63) / 64; len(p.Scale) != wantChunks {
+			t.Fatalf("d=%d: %d chunk scales, want %d", d, len(p.Scale), wantChunks)
+		}
+		dst := make([]float64, d)
+		c.Decode(dst, &p)
+		// Per-coordinate error is at most one scale step.
+		for i := range x {
+			scale := p.Scale[i/64]
+			if math.Abs(dst[i]-x[i]) > scale*(1+1e-12) {
+				t.Fatalf("d=%d: |decode[%d]-x| = %v exceeds scale %v", d, i, math.Abs(dst[i]-x[i]), scale)
+			}
+		}
+	}
+}
+
+// TestInt8Deterministic pins that the encode is a pure function of the
+// input and the stream state.
+func TestInt8Deterministic(t *testing.T) {
+	x := randVec(rng.New(2), 500)
+	c := &Int8{Chunk: 128}
+	var pa, pb Payload
+	c.Encode(&pa, x, rng.New(77), nil)
+	c.Encode(&pb, x, rng.New(77), nil)
+	for i := range pa.Q {
+		if pa.Q[i] != pb.Q[i] {
+			t.Fatalf("same stream, different quantization at %d", i)
+		}
+	}
+}
+
+func TestInt8ZeroChunk(t *testing.T) {
+	x := make([]float64, 100) // all zero
+	c := &Int8{Chunk: 32}
+	var p Payload
+	c.Encode(&p, x, rng.New(1), nil)
+	dst := make([]float64, 100)
+	for i := range dst {
+		dst[i] = 42
+	}
+	c.Decode(dst, &p)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("zero vector decoded to %v at %d", v, i)
+		}
+	}
+}
+
+func TestPayloadBytes(t *testing.T) {
+	x := randVec(rng.New(4), 1000)
+	var p Payload
+	tk := &TopK{Frac: 0.01}
+	tk.Encode(&p, x, nil, make([]float64, 1000))
+	if got, want := p.Bytes(), 10*(4+8); got != want {
+		t.Fatalf("TopK Bytes = %d, want %d", got, want)
+	}
+	i8 := &Int8{Chunk: 100}
+	i8.Encode(&p, x, rng.New(1), nil)
+	if got, want := p.Bytes(), 1000+10*8; got != want {
+		t.Fatalf("Int8 Bytes = %d, want %d", got, want)
+	}
+}
+
+// TestErrorFeedbackConverges is the error-feedback property test: over a
+// stream of updates, the cumulative decoded mass must track the
+// cumulative true mass — exactly up to the final residual (algebraic
+// telescoping), and within a small relative error overall because the
+// residual stays bounded (≈ one selection gap d/k of mass for TopK, one
+// scale step for Int8) instead of growing with T.
+func TestErrorFeedbackConverges(t *testing.T) {
+	const d, T = 512, 400
+	codecs := []Codec{&TopK{Frac: 0.05}, &Int8{Chunk: 128}, None{}}
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			r := rng.New(21)
+			stream := rng.New(33)
+			e := make([]float64, d)
+			scratch := make([]float64, d)
+			x := make([]float64, d)
+			cumTrue := make([]float64, d)
+			cumDec := make([]float64, d)
+			var p Payload
+			for step := 0; step < T; step++ {
+				// A drifting gradient-like stream: a fixed bias plus noise,
+				// so dropped coordinates carry real mass that only error
+				// feedback can recover.
+				for i := range x {
+					x[i] = math.Sin(float64(i)) * 0.1
+					x[i] += r.Normal(0, 0.05)
+				}
+				vecmath.Add(cumTrue, cumTrue, x)
+				EncodeEF(c, &p, x, e, stream, scratch)
+				vecmath.Add(cumDec, cumDec, x) // x now holds the decoded update
+			}
+			// Telescoping identity: cumTrue − cumDec == e (up to fp error).
+			for i := range e {
+				if diff := math.Abs(cumTrue[i] - cumDec[i] - e[i]); diff > 1e-9 {
+					t.Fatalf("telescoping violated at %d: |cumTrue-cumDec-e| = %v", i, diff)
+				}
+			}
+			relErr := vecmath.Norm2(e) / vecmath.Norm2(cumTrue)
+			if relErr > 0.1 {
+				t.Fatalf("cumulative decoded mass off by %.1f%% after %d steps (residual did not stay bounded)", 100*relErr, T)
+			}
+		})
+	}
+}
+
+// TestErrorFeedbackRecoversDroppedMass contrasts EF on vs off for a
+// constant update under aggressive sparsification: without feedback the
+// never-selected coordinates lose all their mass; with feedback every
+// coordinate's cumulative decode approaches its cumulative truth.
+func TestErrorFeedbackRecoversDroppedMass(t *testing.T) {
+	const d, T = 64, 640
+	c := &TopK{Frac: 1.0 / 16} // four coordinates per step
+	grad := make([]float64, d)
+	for i := range grad {
+		grad[i] = 1 + float64(i)/d // all positive, mildly skewed
+	}
+	run := func(withEF bool) []float64 {
+		var e []float64
+		if withEF {
+			e = make([]float64, d)
+		}
+		scratch := make([]float64, d)
+		x := make([]float64, d)
+		cum := make([]float64, d)
+		var p Payload
+		for step := 0; step < T; step++ {
+			copy(x, grad)
+			EncodeEF(c, &p, x, e, nil, scratch)
+			vecmath.Add(cum, cum, x)
+		}
+		return cum
+	}
+	withEF, withoutEF := run(true), run(false)
+	var zerosNoEF int
+	var cumTrue, errEF float64
+	for i := range grad {
+		if withoutEF[i] == 0 {
+			zerosNoEF++
+		}
+		if withEF[i] == 0 {
+			t.Fatalf("EF run starved coordinate %d entirely", i)
+		}
+		want := float64(T) * grad[i]
+		cumTrue += want * want
+		errEF += (withEF[i] - want) * (withEF[i] - want)
+	}
+	if rel := math.Sqrt(errEF / cumTrue); rel > 0.1 {
+		t.Fatalf("EF cumulative mass off by %.1f%%", 100*rel)
+	}
+	if zerosNoEF == 0 {
+		t.Fatal("expected the feedback-free run to starve some coordinates entirely")
+	}
+}
+
+// TestErrorFeedbackNonFiniteRecovery pins the residual-sanitizing
+// contract: one non-finite upload (a transient attack or divergence)
+// must not poison the client's feedback — the residual stays finite and
+// later finite uploads flow through at full mass again.
+func TestErrorFeedbackNonFiniteRecovery(t *testing.T) {
+	const d = 256
+	for _, c := range []Codec{&Int8{Chunk: 64}, &TopK{Frac: 0.5}} {
+		t.Run(c.Name(), func(t *testing.T) {
+			stream := rng.New(7)
+			e := make([]float64, d)
+			scratch := make([]float64, d)
+			x := make([]float64, d)
+			var p Payload
+			step := func(poison bool) {
+				for i := range x {
+					x[i] = 1
+				}
+				if poison {
+					x[3] = math.Inf(1)
+					x[100] = math.NaN()
+				}
+				EncodeEF(c, &p, x, e, stream, scratch)
+			}
+			step(false)
+			step(true)
+			for i, v := range e {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("residual poisoned at %d: %v", i, v)
+				}
+			}
+			// A few clean rounds later the decoded mass must track the
+			// all-ones upload again (within one quantization/selection
+			// residual).
+			var last []float64
+			for step2 := 0; step2 < 4; step2++ {
+				step(false)
+				last = append(last[:0], x...)
+			}
+			for i, v := range last {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("decoded update still non-finite at %d after recovery", i)
+				}
+				if math.Abs(v-1) > 1.5 {
+					t.Fatalf("coordinate %d stuck at %v after recovery, want ≈1", i, v)
+				}
+			}
+		})
+	}
+}
+
+func randVec(r *rng.RNG, d int) []float64 {
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	return x
+}

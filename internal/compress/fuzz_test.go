@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzCodecRoundtrip drives every codec over arbitrary vectors — any
+// length, any bit pattern including NaN and ±Inf — and checks the codec
+// contract: encode/decode never panics, and when the input is entirely
+// finite the decoded vector is entirely finite too.
+func FuzzCodecRoundtrip(f *testing.F) {
+	f.Add(uint8(0), uint8(50), []byte{})
+	f.Add(uint8(1), uint8(10), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint8(2), uint8(3), []byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0, 0xff})
+	f.Add(uint8(1), uint8(100), []byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, kind, param uint8, raw []byte) {
+		var c Codec
+		switch kind % 3 {
+		case 0:
+			c = None{}
+		case 1:
+			// Fractions across (0, 1], including degenerate tiny k.
+			c = &TopK{Frac: (float64(param%100) + 1) / 100}
+		default:
+			c = &Int8{Chunk: int(param%64) + 1}
+		}
+		// Reinterpret the raw bytes as float64s, byte patterns untouched
+		// so NaN payloads and subnormals come through.
+		d := len(raw) / 8
+		if d > 1<<12 {
+			d = 1 << 12
+		}
+		x := make([]float64, d)
+		finite := true
+		for i := range x {
+			x[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				finite = false
+			}
+		}
+
+		var p Payload
+		scratch := make([]float64, d)
+		c.Encode(&p, x, rng.New(uint64(param)), scratch)
+		if p.N != d {
+			t.Fatalf("%s: payload N = %d, want %d", c.Name(), p.N, d)
+		}
+		if p.Bytes() < 0 {
+			t.Fatalf("%s: negative Bytes %d", c.Name(), p.Bytes())
+		}
+		dst := make([]float64, d)
+		c.Decode(dst, &p)
+		if finite {
+			for i, v := range dst {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: finite input decoded to %v at %d (x[%d]=%v)", c.Name(), v, i, i, x[i])
+				}
+			}
+		}
+		// The error-feedback wrapper must be just as total.
+		e := make([]float64, d)
+		copyX := make([]float64, d)
+		copy(copyX, x)
+		EncodeEF(c, &p, copyX, e, rng.New(uint64(kind)), scratch)
+	})
+}

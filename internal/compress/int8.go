@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Int8 is QSGD-style stochastic quantization: each chunk of Chunk
+// coordinates is scaled by its own maxAbs/127 and every coordinate is
+// stochastically rounded to a signed byte, so the quantization is
+// unbiased (E[decode] = x) and the error per coordinate is at most one
+// scale step. The roundings draw from the caller's stream — in the FL
+// engine each client owns one — which makes encodes bit-reproducible at
+// any parallelism level.
+type Int8 struct {
+	// Chunk is the per-scale chunk length (DefaultChunk when built via
+	// Spec.Codec).
+	Chunk int
+}
+
+// Name implements Codec.
+func (c *Int8) Name() string { return fmt.Sprintf("int8:%d", c.Chunk) }
+
+// Grow implements Codec.
+func (c *Int8) Grow(p *Payload, d int) {
+	if cap(p.Q) < d {
+		p.Q = make([]int8, 0, d)
+	}
+	chunks := (d + c.Chunk - 1) / c.Chunk
+	if cap(p.Scale) < chunks {
+		p.Scale = make([]float64, 0, chunks)
+	}
+}
+
+// Encode implements Codec. A chunk whose magnitude is zero or non-finite
+// is transmitted as zeros (scale 0) and consumes no stream draws; the
+// per-client draw count therefore depends only on the client's own data,
+// never on scheduling.
+func (c *Int8) Encode(p *Payload, x []float64, r *rng.RNG, _ []float64) {
+	d := len(x)
+	c.Grow(p, d)
+	p.Form, p.N, p.ChunkLen = KindInt8, d, c.Chunk
+	p.Idx, p.Val = p.Idx[:0], p.Val[:0]
+	q := p.Q[:d]
+	sc := p.Scale[:0]
+	for base := 0; base < d; base += c.Chunk {
+		end := min(base+c.Chunk, d)
+		var m float64
+		for _, v := range x[base:end] {
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		if m == 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+			sc = append(sc, 0)
+			for i := base; i < end; i++ {
+				q[i] = 0
+			}
+			continue
+		}
+		scale := m / 127
+		sc = append(sc, scale)
+		inv := 1 / scale
+		for i := base; i < end; i++ {
+			q[i] = quantize(x[i]*inv, r)
+		}
+	}
+	p.Q, p.Scale = q, sc
+}
+
+// quantize stochastically rounds v (nominally in [−127, 127]) to a
+// signed byte: floor plus a Bernoulli(frac) increment. Non-finite v —
+// possible when the chunk holds a NaN that escaped the maxAbs scan —
+// quantizes to 0.
+func quantize(v float64, r *rng.RNG) int8 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	f := math.Floor(v)
+	qi := f
+	if r.Float64() < v-f {
+		qi++
+	}
+	if qi > 127 {
+		qi = 127
+	} else if qi < -127 {
+		qi = -127
+	}
+	return int8(qi)
+}
+
+// Decode implements Codec.
+func (c *Int8) Decode(dst []float64, p *Payload) {
+	chunk := p.ChunkLen
+	for ci, scale := range p.Scale {
+		base := ci * chunk
+		end := min(base+chunk, p.N)
+		for i := base; i < end; i++ {
+			dst[i] = scale * float64(p.Q[i])
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecmath"
+)
+
+// TopK keeps the k = max(1, round(Frac·d)) largest-magnitude coordinates
+// of the update as (index, value) pairs, in ascending index order. The
+// selection is fully deterministic: the k-th magnitude is found by
+// median-of-three quickselect over a caller-provided scratch copy, and
+// ties at the threshold are broken by the smallest index.
+type TopK struct {
+	// Frac is the kept-coordinate fraction, in (0, 1].
+	Frac float64
+}
+
+// Name implements Codec.
+func (c *TopK) Name() string { return fmt.Sprintf("topk:%g", c.Frac) }
+
+// K returns the kept-coordinate count for a d-length vector.
+func (c *TopK) K(d int) int {
+	k := int(c.Frac*float64(d) + 0.5)
+	return min(max(k, 1), d)
+}
+
+// Grow implements Codec.
+func (c *TopK) Grow(p *Payload, d int) {
+	k := c.K(d)
+	if cap(p.Idx) < k {
+		p.Idx = make([]int32, 0, k)
+	}
+	if cap(p.Val) < k {
+		p.Val = make([]float64, 0, k)
+	}
+}
+
+// absTotal maps a coordinate to its selection magnitude under a total
+// order: NaN sorts as +Inf (a NaN coordinate is "infinitely surprising"
+// and always kept), so the quickselect partition always makes progress.
+func absTotal(v float64) float64 {
+	if math.IsNaN(v) {
+		return math.Inf(1)
+	}
+	return math.Abs(v)
+}
+
+// Encode implements Codec. scratch must have len(x) capacity; it holds
+// the magnitude copy the selection permutes.
+func (c *TopK) Encode(p *Payload, x []float64, _ *rng.RNG, scratch []float64) {
+	d := len(x)
+	k := c.K(d)
+	c.Grow(p, d)
+	p.Form, p.N, p.ChunkLen = KindTopK, d, 0
+	p.Q, p.Scale = p.Q[:0], p.Scale[:0]
+	idx, val := p.Idx[:0], p.Val[:0]
+	if k == d {
+		for i, v := range x {
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		}
+		p.Idx, p.Val = idx, val
+		return
+	}
+
+	mags := scratch[:d]
+	for i, v := range x {
+		mags[i] = absTotal(v)
+	}
+	tau := kthLargest(mags, k)
+	// Keep everything strictly above the threshold, then fill the
+	// remaining slots with threshold-magnitude coordinates in index
+	// order; both scans emit ascending indices.
+	ties := k
+	for _, v := range x {
+		if absTotal(v) > tau {
+			ties--
+		}
+	}
+	for i, v := range x {
+		m := absTotal(v)
+		if m > tau {
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		} else if m == tau && ties > 0 {
+			ties--
+			idx = append(idx, int32(i))
+			val = append(val, v)
+		}
+	}
+	p.Idx, p.Val = idx, val
+}
+
+// Decode implements Codec: scatter the kept coordinates over zeros.
+func (c *TopK) Decode(dst []float64, p *Payload) {
+	vecmath.Zero(dst)
+	for j, i := range p.Idx {
+		dst[i] = p.Val[j]
+	}
+}
+
+// kthLargest returns the k-th largest element of a (1 ≤ k ≤ len(a)),
+// permuting a in place. Elements must compare under a total order (no
+// NaNs — see absTotal). Deterministic: median-of-three pivots, three-way
+// partitioning (guaranteed progress on duplicate-heavy inputs).
+func kthLargest(a []float64, k int) float64 {
+	lo, hi := 0, len(a)
+	target := len(a) - k // rank in ascending order
+	for hi-lo > 1 {
+		pivot := medianOf3(a[lo], a[lo+(hi-lo)/2], a[hi-1])
+		// Dutch-flag partition of [lo,hi) into < pivot, == pivot, > pivot.
+		lt, gt := lo, hi
+		for i := lo; i < gt; {
+			switch {
+			case a[i] < pivot:
+				a[i], a[lt] = a[lt], a[i]
+				lt++
+				i++
+			case a[i] > pivot:
+				gt--
+				a[i], a[gt] = a[gt], a[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case target < lt:
+			hi = lt
+		case target < gt:
+			return pivot
+		default:
+			lo = gt
+		}
+	}
+	return a[lo]
+}
+
+// medianOf3 returns the median of its arguments.
+func medianOf3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}

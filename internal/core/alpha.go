@@ -57,6 +57,46 @@ func computeAlphas(deltas [][]float64, mean, norms, out []float64) {
 	}
 }
 
+// computeAlphasUpdates is computeAlphas over the round's updates, routed
+// through the payload-aware views: a sparse (top-k) upload contributes
+// its mean mass via an O(k) scatter, its norm over the k kept values
+// (the dropped coordinates are exact zeros), and its Eq. (7) inner
+// product via an O(k) gather against the mean — whose own rescaled norm
+// is computed once, not per update. Dense uploads take the exact code
+// path of computeAlphas, bit-identically.
+func computeAlphasUpdates(updates []fl.Update, mean, norms, out []float64) {
+	n := len(updates)
+	if n == 0 {
+		return
+	}
+	vecmath.Zero(mean)
+	var normSum float64
+	for i := range updates {
+		updates[i].AddScaled(1/float64(n), mean)
+		norms[i] = updates[i].Norm()
+		normSum += norms[i]
+	}
+	meanMax := vecmath.MaxAbs(mean)
+	var meanNorm float64
+	if meanMax != 0 && !math.IsInf(meanMax, 0) {
+		meanNorm = vecmath.Norm2Safe(mean) / meanMax
+	}
+	for i := range updates {
+		if normSum == 0 || math.IsInf(normSum, 0) || math.IsNaN(normSum) {
+			out[i] = 0
+			continue
+		}
+		var cosine float64
+		if meanMax != 0 {
+			cosine = updates[i].CosineWithNorm(mean, meanMax, meanNorm)
+		}
+		if cosine < 0 {
+			cosine = 0
+		}
+		out[i] = (1 - norms[i]/normSum) * cosine
+	}
+}
+
 // AlphaTracker maintains per-client correction coefficients across rounds
 // for TACO and the TACO-enhanced hybrids. Coefficients for clients that do
 // not participate in a round (expelled) keep their last value.
@@ -65,8 +105,7 @@ type AlphaTracker struct {
 	history [][]float64
 	mean    []float64
 	scratch []float64
-	deltas  [][]float64 // reusable per-round view of the uploads
-	norms   []float64   // reusable computeAlphas scratch
+	norms   []float64 // reusable computeAlphas scratch
 }
 
 // NewAlphaTracker creates a tracker for n clients of a numParams-sized
@@ -88,8 +127,7 @@ func NewAlphaTracker(n, numParams int, initial float64) *AlphaTracker {
 // the fresh estimate with the previous round's value: α ← s·α_old +
 // (1−s)·α_new. 0 reproduces the paper's memoryless rule.
 func (t *AlphaTracker) Update(updates []fl.Update, smoothing float64) {
-	if cap(t.deltas) < len(updates) {
-		t.deltas = make([][]float64, len(updates))
+	if cap(t.norms) < len(updates) {
 		t.norms = make([]float64, len(updates))
 	}
 	// scratch is seeded to the client count but tracks the update count:
@@ -98,15 +136,8 @@ func (t *AlphaTracker) Update(updates []fl.Update, smoothing float64) {
 	if cap(t.scratch) < len(updates) {
 		t.scratch = make([]float64, len(updates))
 	}
-	deltas := t.deltas[:len(updates)]
-	for i, u := range updates {
-		deltas[i] = u.Delta
-	}
 	out := t.scratch[:len(updates)]
-	computeAlphas(deltas, t.mean, t.norms[:len(updates)], out)
-	for i := range deltas {
-		deltas[i] = nil // drop the borrowed ring buffers
-	}
+	computeAlphasUpdates(updates, t.mean, t.norms[:len(updates)], out)
 	for i, u := range updates {
 		t.alphas[u.Client] = smoothing*t.alphas[u.Client] + (1-smoothing)*out[i]
 	}

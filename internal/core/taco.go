@@ -177,8 +177,10 @@ func (a *TACO) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
 	}
 	vecmath.Zero(a.corr)
 	inv := 1 / (float64(a.k) * a.lr)
-	for i, u := range updates {
-		vecmath.AXPY(w[i]*inv, u.Delta, a.corr)
+	for i := range updates {
+		// Sparse uploads (top-k codec) scatter their k kept coordinates
+		// instead of walking all d.
+		updates[i].AddScaled(w[i]*inv, a.corr)
 	}
 	s.ReportWeights(w)
 	vecmath.AXPY(-s.GlobalLR(), a.corr, s.W)

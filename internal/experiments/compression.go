@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/fl"
+	"repro/internal/report"
+)
+
+// compressionCodecs is the codec grid of the communication study: dense
+// transport as the baseline, magnitude top-k at two sparsity levels, and
+// int8 stochastic quantization, each with error feedback (the engine
+// always carries residuals for lossy codecs).
+func compressionCodecs() []struct {
+	name string
+	spec compress.Spec
+} {
+	return []struct {
+		name string
+		spec compress.Spec
+	}{
+		{"dense", compress.Spec{}},
+		{"topk1%", compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.01}},
+		{"topk10%", compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.10}},
+		{"int8", compress.Spec{Kind: compress.KindInt8}},
+	}
+}
+
+// compressionAlgs are the aggregation rules compared under compression:
+// the plain average, the control-variate corrector (whose correction
+// must survive a lossy uplink), and TACO (whose α geometry is computed
+// from the decoded — for top-k, sparse — uploads).
+func compressionAlgs() []string { return []string{"FedAvg", "Scaffold", "TACO"} }
+
+// compressionDatasets trims the grid per scale, like the robustness
+// study: the bench profile runs the MLP only.
+func compressionDatasets(s Scale) []string {
+	if s == ScaleBench {
+		return []string{"adult"}
+	}
+	return []string{"adult", "fmnist"}
+}
+
+// compressionRounds trims the round budget per scale.
+func compressionRounds(s Scale) int {
+	switch s {
+	case ScaleBench:
+		return 5
+	case ScaleFull:
+		return 16
+	default:
+		return 10
+	}
+}
+
+// Compression is the communication-efficiency scenario study (DESIGN.md
+// §7): the codec grid × aggregation rules, reporting each cell's final
+// accuracy next to the uplink traffic and compression ratio the codec
+// achieved — the accuracy-per-byte trade every codec is judged by.
+func Compression(r *Runner) (*report.Table, error) {
+	algs := compressionAlgs()
+	t := &report.Table{Title: "Compression: uplink codec × aggregation rule (final accuracy; uplink MiB, ratio)"}
+	t.Columns = []string{"Codec", "Data"}
+	t.Columns = append(t.Columns, algs...)
+	t.Columns = append(t.Columns, "Uplink", "Ratio")
+
+	for _, codec := range compressionCodecs() {
+		for _, ds := range compressionDatasets(r.Scale) {
+			row := []string{codec.name, ds}
+			var uplink, ratio string
+			for _, algName := range algs {
+				key := fmt.Sprintf("compression/%s/%s/%s", codec.name, ds, algName)
+				res, err := r.RunOne(key, ds, algName, func(cfg *fl.Config, alg fl.Algorithm) {
+					cfg.Rounds = compressionRounds(r.Scale)
+					cfg.Compress = codec.spec
+				})
+				if err != nil {
+					return nil, err
+				}
+				run := res.Run
+				if run.Diverged {
+					row = append(row, "×")
+				} else {
+					row = append(row, report.Pct(run.FinalAccuracy()))
+				}
+				// The wire totals are a property of the codec and the
+				// participation pattern, not the rule; every cell of the
+				// row reports the same numbers — except a diverged run,
+				// which halts early and undercounts, so take the first
+				// full-length run.
+				if uplink == "" && !run.Diverged {
+					uplink = fmt.Sprintf("%.2f MiB", float64(run.TotalUplinkBytes())/(1<<20))
+					ratio = fmt.Sprintf("%.1fx", run.MeanCompressionRatio())
+				}
+			}
+			if uplink == "" { // every rule diverged: no full-length run to report
+				uplink, ratio = "—", "—"
+			}
+			row = append(row, uplink, ratio)
+			t.AddRow(row...)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"cells: final test accuracy per rule; Uplink/Ratio: total client→server bytes and",
+		"dense-over-encoded ratio for the run. Top-k costs 12 B per kept coordinate (4 B",
+		"index + 8 B value) → ~66x at 1%; int8 costs ~1 B per coordinate → ~8x. Error",
+		"feedback carries each client's dropped mass into its next upload, which is what",
+		"keeps the 1% cell convergent at all.")
+	return t, nil
+}

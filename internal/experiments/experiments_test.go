@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"compression", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}
@@ -170,6 +170,31 @@ func TestRobustnessArtifact(t *testing.T) {
 	for _, frag := range []string{"FedAvg", "Scaffold", "FG", "TACO", "det P/R", "|0."} {
 		if !strings.Contains(s, frag) {
 			t.Fatalf("robustness render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestCompressionArtifact runs the codec grid end to end at bench scale
+// (adult only) and checks the rendered shape: every codec row plus the
+// wire-cost columns, with the lossy rows actually reporting compression.
+func TestCompressionArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the codec grid")
+	}
+	r := NewRunner(ScaleBench)
+	tbl, err := Compression(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, codec := range compressionCodecs() {
+		if !strings.Contains(s, codec.name) {
+			t.Fatalf("compression render missing codec %q:\n%s", codec.name, s)
+		}
+	}
+	for _, frag := range []string{"FedAvg", "Scaffold", "TACO", "Uplink", "Ratio", "MiB", "1.0x"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("compression render missing %q:\n%s", frag, s)
 		}
 	}
 }

@@ -37,9 +37,10 @@ var registry = map[string]Runnable{
 	},
 	"fig7": func(r *Runner) ([]Artifact, error) { return one(Fig7(r)) },
 	// Scenario studies beyond the paper's artifacts.
-	"straggler":  func(r *Runner) ([]Artifact, error) { return one(Straggler(r)) },
-	"scale1k":    func(r *Runner) ([]Artifact, error) { return one(Scale1k(r)) },
-	"robustness": func(r *Runner) ([]Artifact, error) { return one(Robustness(r)) },
+	"straggler":   func(r *Runner) ([]Artifact, error) { return one(Straggler(r)) },
+	"scale1k":     func(r *Runner) ([]Artifact, error) { return one(Scale1k(r)) },
+	"robustness":  func(r *Runner) ([]Artifact, error) { return one(Robustness(r)) },
+	"compression": func(r *Runner) ([]Artifact, error) { return one(Compression(r)) },
 }
 
 func one[T Artifact](t T, err error) ([]Artifact, error) {

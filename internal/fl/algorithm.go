@@ -3,6 +3,7 @@ package fl
 import (
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/nn"
 	"repro/internal/simclock"
 	"repro/internal/vecmath"
@@ -97,6 +98,94 @@ type Update struct {
 	// window-gated attackers are marked even while dormant). Aggregation
 	// rules must NOT read it — defenses only see the update geometry.
 	Corrupt bool
+	// Payload is the encoded on-the-wire form of the upload when the run
+	// compresses updates (nil for dense transport). Delta always holds
+	// the decoded dense view, so the two never disagree; rules that can
+	// exploit sparse form should go through AddScaled/Norm,
+	// which pick the O(k) kernels automatically. Like Delta, the backing
+	// buffers belong to the engine's ring.
+	Payload *compress.Payload
+	// ring is the pool's buffer-ownership handle (pool.go).
+	ring *upload
+}
+
+// AddScaled accumulates alpha·Δ_i into dst. When the update carries a
+// sparse payload the accumulation scatters the k kept coordinates
+// (vecmath.ScatterAXPY) instead of walking all d, so aggregating a top-k
+// round is O(n·k) server work.
+func (u *Update) AddScaled(alpha float64, dst []float64) {
+	if u.Payload != nil && u.Payload.Sparse() {
+		vecmath.ScatterAXPY(alpha, u.Payload.Idx, u.Payload.Val, dst)
+		return
+	}
+	vecmath.AXPY(alpha, u.Delta, dst)
+}
+
+// Norm returns ‖Δ_i‖ with overflow-safe accumulation (the upload is not
+// under the server's control), over the sparse values when available —
+// the dropped coordinates are exact zeros, so the sparse and dense norms
+// agree.
+func (u *Update) Norm() float64 {
+	if u.Payload != nil && u.Payload.Sparse() {
+		return vecmath.Norm2Safe(u.Payload.Val)
+	}
+	return vecmath.Norm2Safe(u.Delta)
+}
+
+// CosineWith returns cos(Δ_i, y) under the CosineSimilarity conventions
+// (0 for a degenerate vector, clamped to [−1, 1]). The sparse path costs
+// O(k) beyond y's norm; callers looping over many updates against one
+// reference vector can pass y's precomputed MaxAbs-rescaled norm via
+// CosineWithNorm to stay O(k) per update.
+func (u *Update) CosineWith(y []float64) float64 {
+	if u.Payload == nil || !u.Payload.Sparse() {
+		return vecmath.CosineSimilarity(u.Delta, y)
+	}
+	my := vecmath.MaxAbs(y)
+	if my == 0 {
+		return 0
+	}
+	return u.CosineWithNorm(y, my, vecmath.Norm2Safe(y)/my)
+}
+
+// CosineWithNorm is CosineWith given y's precomputed largest magnitude
+// my = MaxAbs(y) (non-zero) and rescaled norm ny = ‖y/my‖. The sparse
+// inner product runs through the AVX2 gather kernel (vecmath.GatherDot)
+// and normalizes afterwards; when the raw product overflows, both sides
+// are rescaled by their largest magnitudes first — the same overflow
+// guard CosineSimilarity applies to dense uploads.
+func (u *Update) CosineWithNorm(y []float64, my, ny float64) float64 {
+	p := u.Payload
+	if p == nil || !p.Sparse() {
+		return vecmath.CosineSimilarity(u.Delta, y)
+	}
+	if ny == 0 || math.IsNaN(ny) {
+		return 0
+	}
+	nv := vecmath.Norm2Safe(p.Val)
+	if nv == 0 {
+		return 0
+	}
+	if dot := vecmath.GatherDot(p.Idx, p.Val, y); !math.IsNaN(dot) && !math.IsInf(dot, 0) {
+		if c := dot / (nv * my * ny); !math.IsNaN(c) && !math.IsInf(c, 0) {
+			return vecmath.Clamp(c, -1, 1)
+		}
+	}
+	mv := vecmath.MaxAbs(p.Val)
+	if mv == 0 || math.IsNaN(mv) {
+		return 0
+	}
+	invV, invY := 1/mv, 1/my
+	var dot, snv float64
+	for j, i := range p.Idx {
+		sv := p.Val[j] * invV
+		dot += sv * (y[i] * invY)
+		snv += sv * sv
+	}
+	if snv == 0 {
+		return 0
+	}
+	return vecmath.Clamp(dot/(math.Sqrt(snv)*ny), -1, 1)
 }
 
 // ServerCtx is the aggregation context. Aggregate must write the next
@@ -280,10 +369,11 @@ func aggregationWeightsInto(weights []float64, updates []Update, weightByData bo
 // FedAvgStep applies the vanilla aggregation of Eq. (6) with ∆^{t+1} =
 // Σ p_i ∆_i / (K·ηl): with the default ηg = K·ηl the global model moves by
 // the weighted mean client delta. Shared by FedAvg, FedProx, and Scaffold.
+// Sparse uploads fold in via their O(k) scatter view (Update.AddScaled).
 func FedAvgStep(s *ServerCtx, updates []Update) {
 	weights := s.AggregationWeights(updates)
 	scale := s.GlobalLR() / (float64(s.Env.Cfg.LocalSteps) * s.Env.Cfg.LocalLR)
-	for i, u := range updates {
-		vecmath.AXPY(-weights[i]*scale, u.Delta, s.W)
+	for i := range updates {
+		updates[i].AddScaled(-weights[i]*scale, s.W)
 	}
 }

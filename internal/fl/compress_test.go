@@ -1,0 +1,169 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// compressConfig is the shared engine config of the codec tests.
+func compressConfig(seed uint64) Config {
+	return Config{
+		Rounds:     4,
+		LocalSteps: 3,
+		BatchSize:  8,
+		LocalLR:    0.05,
+		Seed:       seed,
+	}
+}
+
+// TestCodecNoneGoldenIdentity pins the empty-codec contract: an explicit
+// dense-transport spec must reproduce a config without the field
+// bit-identically — the compression subsystem derives no streams and
+// touches no buffers unless a lossy codec is selected.
+func TestCodecNoneGoldenIdentity(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	base := compressConfig(7)
+	withSpec := base
+	withSpec.Compress = compress.Spec{Kind: compress.KindNone}
+	resA, err := Run(base, goldenFedAvg{}, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := Run(withSpec, goldenFedAvg{}, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha, hb := paramsHash(resA.FinalParams), paramsHash(resB.FinalParams); ha != hb {
+		t.Fatalf("explicit KindNone diverged from the zero config: %016x vs %016x", ha, hb)
+	}
+	// Dense transport reports the uncompressed wire cost.
+	for _, rec := range resB.Run.Rounds {
+		if rec.CompressionRatio != 1 {
+			t.Fatalf("dense round %d has ratio %v, want 1", rec.Index, rec.CompressionRatio)
+		}
+		if want := int64(8 * net.NumParams() * len(shards)); rec.UplinkBytes != want {
+			t.Fatalf("dense round %d uplink %d B, want %d", rec.Index, rec.UplinkBytes, want)
+		}
+	}
+}
+
+// TestCompressionBitIdentity is the P=1-vs-P=8 determinism regression
+// for the lossy codecs: top-k selection is deterministic and the int8
+// stochastic roundings draw from per-client streams, so the slot-to-
+// client assignment must be invisible in the results.
+func TestCompressionBitIdentity(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	specs := []compress.Spec{
+		{Kind: compress.KindTopK, TopKFrac: 0.05},
+		{Kind: compress.KindInt8, Chunk: 512},
+	}
+	for _, spec := range specs {
+		for _, seed := range []uint64{3, 41} {
+			cfgA := compressConfig(seed)
+			cfgA.Compress = spec
+			cfgA.Parallelism = 1
+			cfgB := cfgA
+			cfgB.Parallelism = 8
+			resA, err := Run(cfgA, goldenFedAvg{}, net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resB, err := Run(cfgB, goldenFedAvg{}, net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ha, hb := paramsHash(resA.FinalParams), paramsHash(resB.FinalParams); ha != hb {
+				t.Fatalf("%v seed %d: FinalParams differ across parallelism: %016x vs %016x", spec, seed, ha, hb)
+			}
+		}
+	}
+}
+
+// TestCompressionUplinkAccounting checks the wire metrics end to end: a
+// 1% top-k round must shrink uplink bytes by roughly the sparsification
+// factor (12 bytes per kept coordinate vs 8 per dense one), and int8
+// must land near 8x.
+func TestCompressionUplinkAccounting(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	d := net.NumParams()
+	cases := []struct {
+		spec      compress.Spec
+		wantRatio float64
+	}{
+		{compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.01}, 8.0 / (12 * 0.01)},
+		{compress.Spec{Kind: compress.KindInt8, Chunk: 1024}, 8},
+	}
+	for _, tc := range cases {
+		cfg := compressConfig(5)
+		cfg.Compress = tc.spec
+		res, err := Run(cfg, goldenFedAvg{}, net, shards, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.Run.Rounds[0].CompressionRatio
+		if math.Abs(ratio-tc.wantRatio)/tc.wantRatio > 0.2 {
+			t.Fatalf("%v: round ratio %.1f, want ≈%.1f", tc.spec, ratio, tc.wantRatio)
+		}
+		if got := res.Run.TotalUplinkBytes(); got <= 0 || got >= int64(cfg.Rounds*len(shards)*8*d) {
+			t.Fatalf("%v: total uplink %d B out of range", tc.spec, got)
+		}
+		if mean := res.Run.MeanCompressionRatio(); math.Abs(mean-ratio) > 1e-9 {
+			t.Fatalf("%v: rollup ratio %v, want %v", tc.spec, mean, ratio)
+		}
+	}
+}
+
+// TestSparsePayloadMatchesDelta pins the two views of a compressed
+// upload against each other inside a live run: the dense Delta the
+// engine exposes must be exactly the decode of the payload, so the
+// sparse aggregation kernels and a dense fallback can never disagree on
+// what arrived.
+func TestSparsePayloadMatchesDelta(t *testing.T) {
+	net, shards, test := poolSetup(t, 8)
+	cfg := compressConfig(9)
+	cfg.Compress = compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.02}
+	alg := &payloadCheckAlg{t: t}
+	if _, err := Run(cfg, alg, net, shards, test); err != nil {
+		t.Fatal(err)
+	}
+	if alg.checked == 0 {
+		t.Fatal("aggregation never saw a sparse payload")
+	}
+}
+
+// payloadCheckAlg aggregates like FedAvg but first cross-checks every
+// update's payload view against its dense delta.
+type payloadCheckAlg struct {
+	Base
+	t       *testing.T
+	checked int
+}
+
+func (a *payloadCheckAlg) Name() string { return "payloadCheck" }
+func (a *payloadCheckAlg) Aggregate(s *ServerCtx, updates []Update) {
+	for i := range updates {
+		u := &updates[i]
+		p := u.Payload
+		if p == nil || !p.Sparse() {
+			a.t.Fatalf("update %d carries no sparse payload", i)
+		}
+		nonzero := 0
+		for _, v := range u.Delta {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero > len(p.Idx) {
+			a.t.Fatalf("dense delta has %d nonzeros, payload keeps %d", nonzero, len(p.Idx))
+		}
+		for j, idx := range p.Idx {
+			if u.Delta[idx] != p.Val[j] {
+				a.t.Fatalf("delta[%d] = %v, payload says %v", idx, u.Delta[idx], p.Val[j])
+			}
+		}
+		a.checked++
+	}
+	FedAvgStep(s, updates)
+}

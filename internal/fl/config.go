@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/adversary"
+	"repro/internal/compress"
 	"repro/internal/simclock"
 )
 
@@ -128,6 +129,11 @@ type Config struct {
 	// Empty means a uniform always-available fleet; otherwise its length
 	// must equal the number of client shards (checked by Run).
 	Devices []simclock.DeviceProfile
+	// Compress selects the uplink update codec (top-k sparsification or
+	// int8 stochastic quantization, each with per-client error-feedback
+	// residuals; DESIGN.md §7). The zero value is dense transport,
+	// bit-identical to the pre-codec engine.
+	Compress compress.Spec
 }
 
 // Validate reports configuration errors.
@@ -174,6 +180,9 @@ func (c Config) Validate() error {
 		if err := spec.Validate(); err != nil {
 			return fmt.Errorf("fl: adversary %d: %w", i, err)
 		}
+	}
+	if err := c.Compress.Validate(); err != nil {
+		return fmt.Errorf("fl: %w", err)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -132,12 +133,33 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		return nil, err
 	}
 
+	pool := newSlotPool(net, cfg, n)
+	if cfg.Compress.Kind != compress.KindNone {
+		// Quantization streams derive last of all, so a dense-transport
+		// config draws nothing here and stays bit-identical to the
+		// pre-codec engine (the sync golden pins this).
+		codec, err := cfg.Compress.Codec()
+		if err != nil {
+			pool.close()
+			return nil, fmt.Errorf("fl: %w", err)
+		}
+		comp := &compressor{
+			codec:   codec,
+			resid:   make([][]float64, n),
+			streams: make([]*rng.RNG, n),
+		}
+		for i := range comp.streams {
+			comp.streams[i] = root.Derive("compress", i)
+		}
+		pool.comp = comp
+	}
+
 	s := &scheduler{
 		cfg:       cfg,
 		alg:       alg,
 		clients:   clients,
 		env:       env,
-		pool:      newSlotPool(net, cfg, n),
+		pool:      pool,
 		params:    params,
 		wPrev:     vecmath.Clone(params),
 		active:    active,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/baselines"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fl"
@@ -112,6 +113,18 @@ func TestConfigValidate(t *testing.T) {
 		{"adversary bad window", func(c *fl.Config) {
 			c.Adversaries = []adversary.Spec{{Kind: adversary.KindSignFlip, Frac: 0.5, Window: simclock.Trace{PeriodSec: 5}}}
 		}},
+		{"unknown codec kind", func(c *fl.Config) {
+			c.Compress = compress.Spec{Kind: "gzip"}
+		}},
+		{"topk fraction above one", func(c *fl.Config) {
+			c.Compress = compress.Spec{Kind: compress.KindTopK, TopKFrac: 1.5}
+		}},
+		{"topk fraction on int8", func(c *fl.Config) {
+			c.Compress = compress.Spec{Kind: compress.KindInt8, TopKFrac: 0.1}
+		}},
+		{"negative int8 chunk", func(c *fl.Config) {
+			c.Compress = compress.Spec{Kind: compress.KindInt8, Chunk: -1}
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -128,6 +141,8 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"default sync", func(*fl.Config) {}},
 		{"full participation boundary", func(c *fl.Config) { c.ParticipationFraction = 1 }},
+		{"topk codec defaults", func(c *fl.Config) { c.Compress = compress.Spec{Kind: compress.KindTopK} }},
+		{"int8 codec chunked", func(c *fl.Config) { c.Compress = compress.Spec{Kind: compress.KindInt8, Chunk: 64} }},
 		{"adversary stack", func(c *fl.Config) {
 			c.Adversaries = []adversary.Spec{
 				{Kind: adversary.KindLabelFlip, Frac: 0.3},

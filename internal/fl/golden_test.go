@@ -143,6 +143,12 @@ func referenceRun(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 			SlowestModeledSec:  slowestModeled,
 			SlowestMeasuredSec: slowestMeasured,
 			MeanAlpha:          alg.MeanAlpha(),
+			// The reference loop predates the compression substrate; its
+			// uploads are dense float64 vectors, whose on-wire cost the
+			// scheduler now records explicitly (8d bytes per update,
+			// ratio 1).
+			UplinkBytes:      8 * int64(numParams) * int64(len(updates)),
+			CompressionRatio: 1,
 		}
 		if (t+1)%cfg.evalEvery() == 0 || t == cfg.Rounds-1 {
 			rec.Accuracy = evalEng.Accuracy(alg.FinalModel(params), test.X, test.Y)

@@ -4,7 +4,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/nn"
+	"repro/internal/rng"
 )
 
 // slot bundles the training resources one in-flight local round needs: an
@@ -30,6 +32,7 @@ type slot struct {
 type roundTask struct {
 	cfg        *Config
 	alg        Algorithm
+	pool       *slotPool
 	clients    []*client
 	ids        []int
 	round      int
@@ -43,10 +46,15 @@ type roundTask struct {
 }
 
 // run executes job j (the j-th client of the round) on the worker's slot.
-// Corruption hooks live here, on the checkout path: a live fabricator
-// replaces training outright; otherwise the client trains (from its
-// corrupted shard while a data-level window is live) and the update-level
-// injector chain mutates the delta in place before upload.
+// Corruption and compression hooks live here, on the checkout path: a
+// live fabricator replaces training outright; otherwise the client trains
+// (from its corrupted shard while a data-level window is live) and the
+// update-level injector chain mutates the delta in place before upload.
+// With a codec live the outgoing delta — fabricated ones included; lossy
+// transport applies to every upload — is then error-feedback encoded into
+// the ring buffer's payload, and the dense delta is replaced by the
+// decoded view so every aggregation rule sees exactly what arrived on the
+// wire.
 func (t *roundTask) run(j int, sl *slot) {
 	c := t.clients[t.ids[j]]
 	start := time.Now()
@@ -56,8 +64,48 @@ func (t *roundTask) run(j int, sl *slot) {
 		localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global, c.samplerAt(t.now))
 		c.injectDelta(t.cfg, t.updates[j].Delta, t.round, t.now, t.global, t.prevGlobal)
 	}
+	if comp := t.pool.comp; comp != nil {
+		comp.compress(&t.updates[j], sl)
+	}
 	t.measured[j] = time.Since(start).Seconds()
 	t.updates[j].TrainLoss = c.lastLoss
+}
+
+// upload is one delta-ring entry: the dense delta buffer plus a sized
+// encode buffer (the codec payload) that rides along when a codec is
+// live, so encoding an upload in steady state allocates nothing.
+type upload struct {
+	delta []float64
+	pay   compress.Payload
+}
+
+// compressor is the slot pool's uplink codec state (DESIGN.md §7): the
+// shared stateless codec plus the per-client mutable pieces — the
+// error-feedback residual, allocated lazily on first participation like
+// Scaffold's control variates (nil = zero vector), and the deterministic
+// quantization stream, derived after every honest stream at setup so a
+// codec-free config's draws are untouched. A client is in flight at most
+// once at any instant under every policy, so workers touch disjoint
+// residuals and streams without locking.
+type compressor struct {
+	codec   compress.Codec
+	resid   [][]float64
+	streams []*rng.RNG
+}
+
+// compress runs the error-feedback encode step for one upload on the
+// checkout path: u.Delta is folded with the client's residual, encoded
+// into the ring buffer's payload, and replaced by the decoded
+// server-visible update; the residual keeps the mass the codec dropped
+// for the client's next round (compress.EncodeEF).
+func (c *compressor) compress(u *Update, sl *slot) {
+	id := u.Client
+	e := c.resid[id]
+	if e == nil {
+		e = make([]float64, len(u.Delta))
+		c.resid[id] = e
+	}
+	compress.EncodeEF(c.codec, u.Payload, u.Delta, e, c.streams[id], sl.scratch)
 }
 
 // slotPool decouples per-client identity from per-client training
@@ -66,19 +114,23 @@ func (t *roundTask) run(j int, sl *slot) {
 // is O(P·d) for the heavy state instead of O(n·d): a thousand-client
 // fleet no longer owns a thousand engines (DESIGN.md §5).
 //
-// The pool also owns the delta ring: uploads (Update.Delta) must outlive
-// the slot that produced them — until the server consumes them at
-// aggregation — so they are checked out of a free list sized by the
-// steady-state in-flight count and returned by the scheduler once
-// aggregated (or discarded). After the first round the ring is warm and
-// checkout allocates nothing.
+// The pool also owns the delta ring: uploads (Update.Delta and the
+// encoded Update.Payload) must outlive the slot that produced them —
+// until the server consumes them at aggregation — so they are checked
+// out of a free list sized by the steady-state in-flight count and
+// returned by the scheduler once aggregated (or discarded). After the
+// first round the ring is warm and checkout allocates nothing.
 type slotPool struct {
 	jobs chan int
 	wg   sync.WaitGroup
 	task roundTask
+	// comp is the uplink codec state, nil for dense transport (the
+	// entire compression path is skipped, bit-identical to the
+	// pre-codec engine).
+	comp *compressor
 
 	mu        sync.Mutex
-	free      [][]float64 // delta ring free list
+	free      []*upload // delta ring free list
 	numParams int
 	slots     int
 }
@@ -125,16 +177,22 @@ func (p *slotPool) close() { close(p.jobs) }
 // ids[j]). It returns once every client's update is written.
 func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) {
 	for j, id := range ids {
+		u := p.getUpload()
 		updates[j] = Update{
 			Client:     id,
-			Delta:      p.getDelta(),
+			Delta:      u.delta,
 			NumSamples: clients[id].data.Len(),
 			Corrupt:    clients[id].corrupt(),
+			ring:       u,
+		}
+		if p.comp != nil {
+			updates[j].Payload = &u.pay
 		}
 	}
 	p.task = roundTask{
 		cfg:        cfg,
 		alg:        alg,
+		pool:       p,
 		clients:    clients,
 		ids:        ids,
 		round:      round,
@@ -151,24 +209,35 @@ func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids [
 	p.wg.Wait()
 }
 
-// getDelta checks a NumParams-length delta buffer out of the ring,
-// allocating only when the free list is empty (cold start or a new
-// in-flight high-water mark).
-func (p *slotPool) getDelta() []float64 {
+// getUpload checks a ring entry (delta buffer + sized encode buffer) out
+// of the ring, allocating only when the free list is empty (cold start
+// or a new in-flight high-water mark).
+func (p *slotPool) getUpload() *upload {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
-		d := p.free[n-1]
+		u := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
-		return d
+		return u
 	}
 	p.mu.Unlock()
-	return make([]float64, p.numParams)
+	u := &upload{delta: make([]float64, p.numParams)}
+	if p.comp != nil {
+		p.comp.codec.Grow(&u.pay, p.numParams)
+	}
+	return u
 }
 
-// putDelta returns a buffer to the ring. The caller must not retain it.
-func (p *slotPool) putDelta(d []float64) {
+// release returns an update's ring entry and clears its borrowed views.
+// The caller must not retain Delta or Payload past this call. Updates
+// not built by runRound (tests constructing them by hand) carry no ring
+// entry and are left untouched.
+func (p *slotPool) release(u *Update) {
+	if u.ring == nil {
+		return
+	}
 	p.mu.Lock()
-	p.free = append(p.free, d)
+	p.free = append(p.free, u.ring)
 	p.mu.Unlock()
+	u.ring, u.Delta, u.Payload = nil, nil, nil
 }

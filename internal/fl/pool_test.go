@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/partition"
@@ -37,9 +38,11 @@ func poolSetup(t testing.TB, n int) (*nn.Network, []*dataset.Dataset, *dataset.D
 // any aggregation policy — including with update-level attack injectors
 // (sign flip, scaling, delta noise; adversary.go) live on the delta
 // checkout path, whose per-client streams and reusable contexts are all
-// provisioned at setup. Evaluation is pushed past the measured window
-// (EvalEvery) because test-set accuracy is on the eval cadence, not the
-// per-round hot path.
+// provisioned at setup, and with an uplink codec live (top-k or int8),
+// whose payload buffers ride the delta ring and whose error-feedback
+// residuals are lazily allocated during warmup. Evaluation is pushed
+// past the measured window (EvalEvery) because test-set accuracy is on
+// the eval cadence, not the per-round hot path.
 func TestSteadyStateAllocs(t *testing.T) {
 	net, shards, test := poolSetup(t, 8)
 	injectors := []adversary.Spec{
@@ -47,12 +50,19 @@ func TestSteadyStateAllocs(t *testing.T) {
 		{Kind: adversary.KindScale, Clients: []int{3}, Scale: 2},
 		{Kind: adversary.KindDeltaNoise, Clients: []int{3, 5}, Scale: 1},
 	}
-	for _, adv := range []bool{false, true} {
+	variants := []struct {
+		name     string
+		adv      bool
+		compress compress.Spec
+	}{
+		{name: "", adv: false},
+		{name: "-injectors", adv: true},
+		{name: "-topk", compress: compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.1}},
+		{name: "-int8", compress: compress.Spec{Kind: compress.KindInt8, Chunk: 256}},
+	}
+	for _, v := range variants {
 		for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
-			name := policy.String()
-			if adv {
-				name += "-injectors"
-			}
+			name := policy.String() + v.name
 			t.Run(name, func(t *testing.T) {
 				cfg := Config{
 					Rounds:     200,
@@ -62,8 +72,9 @@ func TestSteadyStateAllocs(t *testing.T) {
 					Seed:       11,
 					EvalEvery:  1000,
 					Policy:     policy,
+					Compress:   v.compress,
 				}
-				if adv {
+				if v.adv {
 					cfg.Adversaries = injectors
 				}
 				switch policy {

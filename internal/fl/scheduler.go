@@ -153,13 +153,33 @@ func (s *scheduler) recordWeightMass(updates []Update) {
 	}
 }
 
-// releaseDeltas returns the round's upload buffers to the slot-pool ring
-// once the server has consumed them.
+// releaseDeltas returns the round's upload buffers (dense deltas and
+// encoded payloads) to the slot-pool ring once the server has consumed
+// them.
 func (s *scheduler) releaseDeltas(updates []Update) {
 	for i := range updates {
-		s.pool.putDelta(updates[i].Delta)
-		updates[i].Delta = nil
+		s.pool.release(&updates[i])
 	}
+}
+
+// uplink totals the round's client→server traffic: the encoded payload
+// sizes when a codec is live, the dense 8d cost otherwise. ratio is
+// dense-over-encoded — the round's compression factor, 1 for dense
+// transport.
+func (s *scheduler) uplink(updates []Update) (bytes int64, ratio float64) {
+	dense := 8 * int64(len(s.params))
+	var enc int64
+	for i := range updates {
+		if p := updates[i].Payload; p != nil {
+			enc += int64(p.Bytes())
+		} else {
+			enc += dense
+		}
+	}
+	if enc == 0 {
+		return 0, 0
+	}
+	return enc, float64(dense*int64(len(updates))) / float64(enc)
 }
 
 // recordAccuracy fills rec.Accuracy per the evaluation cadence.
@@ -238,6 +258,7 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 
 	halt = s.aggregate(t, updates)
 	trainLoss := meanLoss(updates)
+	upBytes, upRatio := s.uplink(updates)
 	s.releaseDeltas(updates)
 	if halt {
 		return true, nil
@@ -250,6 +271,8 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		MeanAlpha:          s.alg.MeanAlpha(),
 		HonestWeight:       s.lastHonestW,
 		CorruptWeight:      s.lastCorruptW,
+		UplinkBytes:        upBytes,
+		CompressionRatio:   upRatio,
 	}
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
@@ -328,6 +351,7 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 	halt = s.aggregate(t, updates)
 	trainLoss := meanLoss(updates)
 	slowestMeasured := s.slowestHonest(include, measured, s.now)
+	upBytes, upRatio := s.uplink(updates)
 	s.releaseDeltas(updates)
 	if halt {
 		return true, nil
@@ -341,6 +365,8 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		HonestWeight:       s.lastHonestW,
 		CorruptWeight:      s.lastCorruptW,
 		DroppedClients:     dropped,
+		UplinkBytes:        upBytes,
+		CompressionRatio:   upRatio,
 	}
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
@@ -435,9 +461,8 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		f.live = false
 		s.now = f.finish
 		if !s.active[id] {
-			// Expelled while in flight: upload discarded, delta recycled.
-			s.pool.putDelta(f.update.Delta)
-			f.update.Delta = nil
+			// Expelled while in flight: upload discarded, ring entry recycled.
+			s.pool.release(&f.update)
 			continue
 		}
 		f.update.Staleness = s.version - f.version
@@ -463,6 +488,7 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 
 	halt = s.aggregate(t, s.buffer)
 	trainLoss := meanLoss(s.buffer)
+	upBytes, upRatio := s.uplink(s.buffer)
 	s.releaseDeltas(s.buffer)
 	if halt {
 		return true, nil
@@ -482,6 +508,8 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		CorruptWeight:      s.lastCorruptW,
 		MeanStaleness:      float64(staleSum) / float64(len(s.buffer)),
 		MaxStaleness:       staleMax,
+		UplinkBytes:        upBytes,
+		CompressionRatio:   upRatio,
 	}
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)

@@ -40,6 +40,13 @@ type Round struct {
 	// CorruptWeight stays below the corrupt clients' head-count share.
 	HonestWeight  float64
 	CorruptWeight float64
+	// UplinkBytes is the round's total client→server traffic: the
+	// encoded payload sizes under a compression codec, 8d per update for
+	// dense transport.
+	UplinkBytes int64
+	// CompressionRatio is the round's dense-over-encoded byte ratio
+	// (1 for dense transport, 0 when no updates were aggregated).
+	CompressionRatio float64
 }
 
 // Run is the full history of one FL training run.
@@ -147,6 +154,34 @@ func (r *Run) PeakStaleness() int {
 		}
 	}
 	return peak
+}
+
+// TotalUplinkBytes sums the per-round client→server traffic — the "bytes
+// on wire" a codec is judged by.
+func (r *Run) TotalUplinkBytes() int64 {
+	var total int64
+	for _, rec := range r.Rounds {
+		total += rec.UplinkBytes
+	}
+	return total
+}
+
+// MeanCompressionRatio averages the per-round compression ratios over
+// the rounds that aggregated anything (0 when none did).
+func (r *Run) MeanCompressionRatio() float64 {
+	var sum float64
+	n := 0
+	for _, rec := range r.Rounds {
+		if rec.CompressionRatio == 0 {
+			continue
+		}
+		sum += rec.CompressionRatio
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // MeanCorruptWeight averages the corrupt aggregation-weight mass over the

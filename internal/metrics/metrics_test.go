@@ -175,3 +175,20 @@ func TestEvalDetection(t *testing.T) {
 		t.Fatalf("clean detection = P %v R %v, want 1/1", empty.Precision(), empty.Recall())
 	}
 }
+
+func TestUplinkRollups(t *testing.T) {
+	var r Run
+	if r.TotalUplinkBytes() != 0 || r.MeanCompressionRatio() != 0 {
+		t.Fatal("empty run must report zero uplink rollups")
+	}
+	r.Append(Round{Index: 0, UplinkBytes: 1000, CompressionRatio: 8})
+	r.Append(Round{Index: 1, UplinkBytes: 500, CompressionRatio: 4})
+	// A round that aggregated nothing contributes no ratio sample.
+	r.Append(Round{Index: 2})
+	if got := r.TotalUplinkBytes(); got != 1500 {
+		t.Fatalf("TotalUplinkBytes = %d, want 1500", got)
+	}
+	if got := r.MeanCompressionRatio(); got != 6 {
+		t.Fatalf("MeanCompressionRatio = %v, want 6", got)
+	}
+}

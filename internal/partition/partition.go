@@ -83,6 +83,14 @@ func IID(d *dataset.Dataset, n int, r *rng.RNG) (*Partition, error) {
 // samples are distributed across clients according to a Dirichlet(φ) draw.
 // Smaller φ gives stronger skew. Clients left empty (possible for tiny φ)
 // receive one sample donated by the largest client.
+//
+// The partition is materialized in two passes over preallocated flat
+// backing arrays — per-class buckets first, then exact-sized per-client
+// shards — so building a partition costs a handful of allocations instead
+// of O(classes·clients) append regrowth (BenchmarkDirichletPartition).
+// The random draws (per-class shuffle, then Dirichlet weights, in class
+// order) are identical to the original incremental construction, so
+// partitions are bit-for-bit unchanged.
 func Dirichlet(d *dataset.Dataset, n int, phi float64, r *rng.RNG) (*Partition, error) {
 	if err := checkArgs(d, n); err != nil {
 		return nil, err
@@ -90,18 +98,35 @@ func Dirichlet(d *dataset.Dataset, n int, phi float64, r *rng.RNG) (*Partition, 
 	if phi <= 0 {
 		return nil, fmt.Errorf("partition: Dirichlet concentration %v must be positive", phi)
 	}
+	// Bucket the sample indices by class into one flat backing array.
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	classBacking := make([]int, len(d.Y))
 	byClass := make([][]int, d.Classes)
+	{
+		off := 0
+		for c, cnt := range counts {
+			byClass[c] = classBacking[off : off : off+cnt]
+			off += cnt
+		}
+	}
 	for i, y := range d.Y {
 		byClass[y] = append(byClass[y], i)
 	}
-	p := &Partition{Indices: make([][]int, n)}
-	for _, samples := range byClass {
+
+	// Pass 1: draw each class's shuffle and Dirichlet weights, record the
+	// per-class client boundaries, and accumulate per-client sizes.
+	ends := make([]int, d.Classes*n)
+	sizes := make([]int, n)
+	weights := make([]float64, n)
+	for ci, samples := range byClass {
 		if len(samples) == 0 {
 			continue
 		}
 		r.Shuffle(len(samples), func(a, b int) { samples[a], samples[b] = samples[b], samples[a] })
-		weights := r.Dirichlet(phi, n)
-		// Convert weights to cumulative boundaries over this class.
+		r.DirichletInto(phi, weights)
 		start := 0
 		var cum float64
 		for c := 0; c < n; c++ {
@@ -110,6 +135,37 @@ func Dirichlet(d *dataset.Dataset, n int, phi float64, r *rng.RNG) (*Partition, 
 			if c == n-1 {
 				end = len(samples)
 			}
+			if end < start {
+				end = start
+			}
+			if end > len(samples) {
+				end = len(samples)
+			}
+			ends[ci*n+c] = end
+			sizes[c] += end - start
+			start = end
+		}
+	}
+
+	// Pass 2: copy each class segment into exact-sized per-client shards
+	// over one flat backing array (capacity-limited sub-slices, so a
+	// later donation append cannot stomp a neighbor).
+	shardBacking := make([]int, len(d.Y))
+	p := &Partition{Indices: make([][]int, n)}
+	{
+		off := 0
+		for c, size := range sizes {
+			p.Indices[c] = shardBacking[off : off : off+size]
+			off += size
+		}
+	}
+	for ci, samples := range byClass {
+		if len(samples) == 0 {
+			continue
+		}
+		start := 0
+		for c := 0; c < n; c++ {
+			end := ends[ci*n+c]
 			if end > start {
 				p.Indices[c] = append(p.Indices[c], samples[start:end]...)
 			}

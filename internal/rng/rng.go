@@ -111,21 +111,35 @@ func (r *RNG) Dirichlet(phi float64, k int) []float64 {
 		panic("rng: Dirichlet requires k > 0")
 	}
 	out := make([]float64, k)
+	r.DirichletInto(phi, out)
+	return out
+}
+
+// DirichletInto fills dst with a symmetric Dirichlet(phi) sample over
+// len(dst) categories, consuming exactly the stream draws Dirichlet
+// would — callers batching many draws (the Dirichlet partitioner) reuse
+// one buffer without perturbing the sequence.
+func (r *RNG) DirichletInto(phi float64, dst []float64) {
+	if len(dst) == 0 {
+		panic("rng: Dirichlet requires k > 0")
+	}
 	var sum float64
-	for i := range out {
+	for i := range dst {
 		g := r.Gamma(phi)
-		out[i] = g
+		dst[i] = g
 		sum += g
 	}
 	if sum == 0 {
 		// Numerically possible for tiny phi: fall back to a one-hot vector.
-		out[r.IntN(k)] = 1
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		dst[r.IntN(len(dst))] = 1
+		return
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 // Categorical returns an index sampled according to the (not necessarily

@@ -1,0 +1,57 @@
+package vecmath
+
+// Sparse level-1 kernels for the compressed-update aggregation path. A
+// top-k-sparsified client upload is an (index, value) pair list; the
+// server accumulates it into a dense model vector (ScatterAXPY) and takes
+// inner products against dense broadcast vectors (GatherDot, TACO's α
+// geometry) without ever materializing the dense form, so aggregating n
+// sparse uploads costs O(n·k) instead of O(n·d). On amd64 with AVX2+FMA
+// the bodies run in assembly (sparse_amd64.s, gated by the same CPUID
+// check as the GEMM microkernels) with pure-Go tails; like the fused
+// kernels, the accumulation order of GatherDot differs between the asm
+// and fallback paths, so callers must not assume bit-identical results
+// across machines, only within one process.
+//
+// Indices are int32 — the on-the-wire width of a coordinate index — and
+// must lie in [0, len(y)). ScatterAXPY processes entries strictly in
+// order, so duplicate indices accumulate sequentially.
+
+// sparseLanes is the entry count each assembly loop iteration consumes
+// (one 4-wide YMM vector of float64 values plus four int32 indices);
+// tails shorter than this run in pure Go.
+const sparseLanes = 4
+
+// ScatterAXPY computes y[idx[j]] += alpha * val[j] for every sparse
+// entry — the scatter form of AXPY used to fold a top-k upload into a
+// dense accumulator.
+func ScatterAXPY(alpha float64, idx []int32, val []float64, y []float64) {
+	checkLen("ScatterAXPY", len(idx), len(val))
+	n := len(idx)
+	i := 0
+	if useAVX && n >= sparseLanes {
+		head := n &^ (sparseLanes - 1)
+		scatterAXPYKernel(alpha, &idx[0], &val[0], &y[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		y[idx[i]] += alpha * val[i]
+	}
+}
+
+// GatherDot returns Σ_j val[j] * y[idx[j]] — the inner product of a
+// sparse (idx, val) vector with a dense vector, without densifying.
+func GatherDot(idx []int32, val, y []float64) float64 {
+	checkLen("GatherDot", len(idx), len(val))
+	n := len(idx)
+	var s float64
+	i := 0
+	if useAVX && n >= sparseLanes {
+		head := n &^ (sparseLanes - 1)
+		s = gatherDotKernel(&idx[0], &val[0], &y[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		s += val[i] * y[idx[i]]
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+//go:build amd64
+
+package vecmath
+
+// scatterAXPYKernel accumulates y[idx[j]] += alpha*val[j] over the first
+// n entries, processing them in order (duplicate indices accumulate
+// sequentially); n must be a positive multiple of sparseLanes. The
+// products are formed with AVX2 vector multiplies; the scatter itself is
+// scalar (AVX2 has no scatter instruction).
+//
+//go:noescape
+func scatterAXPYKernel(alpha float64, idx *int32, val, y *float64, n int)
+
+// gatherDotKernel returns Σ val[j]*y[idx[j]] over the first n entries
+// with AVX2+FMA (four lanes of gathered y values per step); n must be a
+// positive multiple of sparseLanes.
+//
+//go:noescape
+func gatherDotKernel(idx *int32, val, y *float64, n int) float64

@@ -1,0 +1,92 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Sparse AVX2 kernels for the compressed-update aggregation path (see
+// sparse.go). Both are leaf functions that consume four (int32 index,
+// float64 value) entries per iteration; the Go wrappers handle the sub-4
+// tails, so n is always a positive multiple of 4 here.
+
+// func scatterAXPYKernel(alpha float64, idx *int32, val, y *float64, n int)
+// y[idx[j]] += alpha*val[j], entries processed strictly in order so
+// duplicate indices accumulate sequentially (scalar semantics).
+TEXT ·scatterAXPYKernel(SB), NOSPLIT, $0-40
+	VBROADCASTSD alpha+0(FP), Y15
+	MOVQ         idx+8(FP), R8
+	MOVQ         val+16(FP), R9
+	MOVQ         y+24(FP), DI
+	MOVQ         n+32(FP), CX
+
+scatterloop:
+	VMOVUPD (R9), Y0
+	VMULPD  Y15, Y0, Y0
+	MOVLQSX 0(R8), R10
+	MOVLQSX 4(R8), R11
+	MOVLQSX 8(R8), R12
+	MOVLQSX 12(R8), R13
+
+	VEXTRACTF128 $1, Y0, X1
+
+	VMOVSD (DI)(R10*8), X2
+	VADDSD X0, X2, X2
+	VMOVSD X2, (DI)(R10*8)
+
+	VPERMILPD $1, X0, X3
+	VMOVSD    (DI)(R11*8), X4
+	VADDSD    X3, X4, X4
+	VMOVSD    X4, (DI)(R11*8)
+
+	VMOVSD (DI)(R12*8), X5
+	VADDSD X1, X5, X5
+	VMOVSD X5, (DI)(R12*8)
+
+	VPERMILPD $1, X1, X6
+	VMOVSD    (DI)(R13*8), X7
+	VADDSD    X6, X7, X7
+	VMOVSD    X7, (DI)(R13*8)
+
+	ADDQ $16, R8
+	ADDQ $32, R9
+	SUBQ $4, CX
+	JNZ  scatterloop
+
+	VZEROUPPER
+	RET
+
+// func gatherDotKernel(idx *int32, val, y *float64, n int) float64
+// Returns Σ val[j]*y[idx[j]] with four-lane FMA accumulation; the lanes
+// are reduced pairwise at the end, so the summation order differs from
+// the scalar fallback (documented in sparse.go).
+TEXT ·gatherDotKernel(SB), NOSPLIT, $0-40
+	MOVQ   idx+0(FP), R8
+	MOVQ   val+8(FP), R9
+	MOVQ   y+16(FP), DI
+	MOVQ   n+24(FP), CX
+	VXORPD Y0, Y0, Y0
+
+gatherloop:
+	MOVLQSX 0(R8), R10
+	MOVLQSX 4(R8), R11
+	MOVLQSX 8(R8), R12
+	MOVLQSX 12(R8), R13
+
+	VMOVSD      (DI)(R10*8), X1
+	VMOVHPD     (DI)(R11*8), X1, X1
+	VMOVSD      (DI)(R12*8), X2
+	VMOVHPD     (DI)(R13*8), X2, X2
+	VINSERTF128 $1, X2, Y1, Y1
+	VMOVUPD     (R9), Y2
+	VFMADD231PD Y1, Y2, Y0
+
+	ADDQ $16, R8
+	ADDQ $32, R9
+	SUBQ $4, CX
+	JNZ  gatherloop
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VPERMILPD    $1, X0, X1
+	VADDSD       X1, X0, X0
+	VZEROUPPER
+	MOVSD        X0, ret+32(FP)
+	RET

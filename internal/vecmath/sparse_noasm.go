@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vecmath
+
+func scatterAXPYKernel(alpha float64, idx *int32, val, y *float64, n int) {
+	panic("vecmath: assembly kernel on non-amd64")
+}
+
+func gatherDotKernel(idx *int32, val, y *float64, n int) float64 {
+	panic("vecmath: assembly kernel on non-amd64")
+}
