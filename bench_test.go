@@ -119,6 +119,12 @@ func BenchmarkRobustness(b *testing.B) { benchArtifact(b, "robustness") }
 // bytes on wire and compression ratio.
 func BenchmarkCompression(b *testing.B) { benchArtifact(b, "compression") }
 
+// BenchmarkFaults runs the fault-injection grid (DESIGN.md §8): client
+// crash/drop/slow mixes × FedAvg/Scaffold/TACO × sync/deadline/async,
+// reporting accuracy next to degraded rounds, lost updates, and retry
+// dispatches.
+func BenchmarkFaults(b *testing.B) { benchArtifact(b, "faults") }
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkGradEval measures one mini-batch gradient evaluation per model

@@ -1,18 +1,22 @@
 // Command benchdiff compares a fresh results/BENCH_results.json against a
-// committed baseline and fails (exit 1) when a pinned kernel regressed by
-// more than the threshold in ns/op — the cheap CI gate behind the bench
-// smoke step.
+// committed baseline and fails (exit 1) when a pinned kernel regressed —
+// in ns/op beyond the fractional threshold, or in allocs/op beyond the
+// absolute slack — the cheap CI gate behind the bench smoke step.
 //
 // Usage:
 //
 //	benchdiff -baseline /tmp/bench_baseline.json -fresh results/BENCH_results.json
 //	benchdiff -baseline old.json -fresh new.json -threshold 0.5 -pins BenchmarkCodec,BenchmarkGEMM
+//	benchdiff -baseline old.json -fresh new.json -alloc-slack 0
 //
 // Only benchmarks present in both files and matching a pinned name prefix
 // are compared, so a filtered bench run gates exactly the kernels it
-// measured. Entries faster than -min-ns in the baseline are skipped:
-// below that, one-shot (-benchtime=1x) timer noise dominates any real
-// signal.
+// measured. Entries faster than -min-ns in the baseline are skipped for
+// the timing gate: below that, one-shot (-benchtime=1x) timer noise
+// dominates any real signal. The allocation gate has no such floor —
+// allocs/op is deterministic, and the pinned kernels are all 0-alloc in
+// steady state, so a new allocation on a hot path is a real regression no
+// matter how fast the kernel is.
 package main
 
 import (
@@ -34,19 +38,84 @@ type benchResult struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
-// defaultPins are the kernel families whose ns/op the gate watches: the
-// compute substrate's GEMM and gradient paths, the fused and sparse
-// vector kernels, and the uplink codecs. Experiment-grade benchmarks
-// (whole training grids) are deliberately not pinned — their runtimes
-// swing with scheduling, not kernel regressions.
+// defaultPins are the kernel families whose ns/op and allocs/op the gate
+// watches: the compute substrate's GEMM and gradient paths, the fused and
+// sparse vector kernels, and the uplink codecs. Experiment-grade
+// benchmarks (whole training grids) are deliberately not pinned — their
+// runtimes swing with scheduling, not kernel regressions.
 const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity"
+
+// gate holds the comparison thresholds.
+type gate struct {
+	// threshold is the maximum tolerated fractional ns/op regression.
+	threshold float64
+	// minNs skips the timing comparison for baseline entries faster than
+	// this (timer noise); the allocation gate still applies.
+	minNs float64
+	// allocSlack is the maximum tolerated absolute allocs/op increase.
+	// One-shot benchmark iterations fold harness setup (sub-benchmark
+	// bookkeeping, first-call laziness) into allocs/op, so a small slack
+	// absorbs that noise while still catching a per-element or per-round
+	// allocation slipping into a pinned kernel.
+	allocSlack float64
+}
+
+// diffLine is one compared benchmark's verdict.
+type diffLine struct {
+	name      string
+	line      string
+	regressed bool
+}
+
+// compare gates every fresh benchmark that matches a pinned prefix and
+// exists in the baseline, returning one verdict per compared entry.
+func compare(baseline, fresh map[string]benchResult, prefixes []string, g gate) []diffLine {
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []diffLine
+	for _, name := range names {
+		if !pinned(name, prefixes) {
+			continue
+		}
+		base, ok := baseline[name]
+		if !ok {
+			continue
+		}
+		f := fresh[name]
+		var reasons []string
+		if base.NsPerOp > g.minNs {
+			if delta := f.NsPerOp/base.NsPerOp - 1; delta > g.threshold {
+				reasons = append(reasons, fmt.Sprintf("ns/op %+.1f%%", 100*delta))
+			}
+		}
+		if dAllocs := f.AllocsPerOp - base.AllocsPerOp; dAllocs > g.allocSlack {
+			reasons = append(reasons, fmt.Sprintf("allocs/op %+.0f", dAllocs))
+		}
+		status := "ok"
+		if len(reasons) > 0 {
+			status = "REGRESSED (" + strings.Join(reasons, ", ") + ")"
+		}
+		out = append(out, diffLine{
+			name: name,
+			line: fmt.Sprintf("%-55s %12.0f -> %12.0f ns/op  %5.0f -> %5.0f allocs/op  %s",
+				name, base.NsPerOp, f.NsPerOp, base.AllocsPerOp, f.AllocsPerOp, status),
+			regressed: len(reasons) > 0,
+		})
+	}
+	return out
+}
 
 func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "committed baseline JSON (required)")
 		freshPath    = flag.String("fresh", "results/BENCH_results.json", "freshly produced JSON")
 		threshold    = flag.Float64("threshold", 0.25, "maximum tolerated fractional ns/op regression")
-		minNs        = flag.Float64("min-ns", 1000, "skip baseline entries faster than this (timer noise)")
+		minNs        = flag.Float64("min-ns", 1000, "skip the timing gate for baseline entries faster than this (timer noise)")
+		allocSlack   = flag.Float64("alloc-slack", 16, "maximum tolerated absolute allocs/op increase")
 		pins         = flag.String("pins", defaultPins, "comma-separated benchmark name prefixes to gate")
 	)
 	flag.Parse()
@@ -65,34 +134,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	prefixes := strings.Split(*pins, ",")
-	names := make([]string, 0, len(fresh))
-	for name := range fresh {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	compared, regressed := 0, 0
-	for _, name := range names {
-		if !pinned(name, prefixes) {
-			continue
-		}
-		base, ok := baseline[name]
-		if !ok || base.NsPerOp <= *minNs {
-			continue
-		}
-		compared++
-		delta := fresh[name].NsPerOp/base.NsPerOp - 1
-		status := "ok"
-		if delta > *threshold {
-			status = "REGRESSED"
+	lines := compare(baseline, fresh, strings.Split(*pins, ","), gate{
+		threshold:  *threshold,
+		minNs:      *minNs,
+		allocSlack: *allocSlack,
+	})
+	regressed := 0
+	for _, l := range lines {
+		if l.regressed {
 			regressed++
 		}
-		fmt.Printf("%-55s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
-			name, base.NsPerOp, fresh[name].NsPerOp, 100*delta, status)
+		fmt.Println(l.line)
 	}
-	fmt.Printf("benchdiff: %d pinned kernels compared, %d regressed beyond %.0f%%\n",
-		compared, regressed, 100**threshold)
+	fmt.Printf("benchdiff: %d pinned kernels compared, %d regressed (ns/op beyond %.0f%% or allocs/op beyond +%.0f)\n",
+		len(lines), regressed, 100**threshold, *allocSlack)
 	if regressed > 0 {
 		os.Exit(1)
 	}

@@ -23,6 +23,57 @@ func TestPinned(t *testing.T) {
 	}
 }
 
+func TestCompareGates(t *testing.T) {
+	g := gate{threshold: 0.25, minNs: 1000, allocSlack: 16}
+	prefixes := []string{"BenchmarkGEMM", "BenchmarkAXPY"}
+	baseline := map[string]benchResult{
+		"BenchmarkGEMM/square64": {Name: "BenchmarkGEMM/square64", NsPerOp: 100000, AllocsPerOp: 0},
+		"BenchmarkAXPY":          {Name: "BenchmarkAXPY", NsPerOp: 2000, AllocsPerOp: 2},
+		"BenchmarkGEMM/fast":     {Name: "BenchmarkGEMM/fast", NsPerOp: 500, AllocsPerOp: 0},
+		"BenchmarkGEMM/gone":     {Name: "BenchmarkGEMM/gone", NsPerOp: 100000},
+	}
+	fresh := map[string]benchResult{
+		// Within both gates.
+		"BenchmarkGEMM/square64": {Name: "BenchmarkGEMM/square64", NsPerOp: 110000, AllocsPerOp: 8},
+		// Timing fine, but 30 new allocs/op blows the slack.
+		"BenchmarkAXPY": {Name: "BenchmarkAXPY", NsPerOp: 2100, AllocsPerOp: 32},
+		// Below min-ns: timing gate skipped even at 10x slower, but the
+		// allocation gate still fires.
+		"BenchmarkGEMM/fast": {Name: "BenchmarkGEMM/fast", NsPerOp: 5000, AllocsPerOp: 40},
+		// Not pinned: never compared.
+		"BenchmarkFig2RoundAccuracy": {Name: "BenchmarkFig2RoundAccuracy", NsPerOp: 1},
+		// Not in baseline: skipped.
+		"BenchmarkGEMM/new": {Name: "BenchmarkGEMM/new", NsPerOp: 100000},
+	}
+	lines := compare(baseline, fresh, prefixes, g)
+	verdicts := map[string]bool{}
+	for _, l := range lines {
+		verdicts[l.name] = l.regressed
+	}
+	want := map[string]bool{
+		"BenchmarkGEMM/square64": false,
+		"BenchmarkAXPY":          true,
+		"BenchmarkGEMM/fast":     true,
+	}
+	if len(verdicts) != len(want) {
+		t.Fatalf("compared %v, want exactly %v", verdicts, want)
+	}
+	for name, regressed := range want {
+		if verdicts[name] != regressed {
+			t.Fatalf("%s regressed = %v, want %v (lines %+v)", name, verdicts[name], regressed, lines)
+		}
+	}
+
+	// A pure timing regression past the threshold fails on its own.
+	fresh["BenchmarkGEMM/square64"] = benchResult{Name: "BenchmarkGEMM/square64", NsPerOp: 140000}
+	lines = compare(baseline, fresh, prefixes, g)
+	for _, l := range lines {
+		if l.name == "BenchmarkGEMM/square64" && !l.regressed {
+			t.Fatalf("40%% ns/op regression not flagged: %s", l.line)
+		}
+	}
+}
+
 func TestLoad(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := os.WriteFile(path, []byte(`[{"name":"BenchmarkX","n":3,"ns_per_op":42.5}]`), 0o644); err != nil {

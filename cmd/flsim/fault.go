@@ -1,0 +1,40 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// buildFaults turns the -fault flag into fault specs. The flag value
+// uses fault.ParseFaults syntax: a comma-separated list of
+// "kind[:frac[:param]]" entries ("crash:0.2,slow:0.3:4",
+// "servercrash:10"). Returns nil when no faults were requested.
+func buildFaults(s string) ([]fault.Spec, error) {
+	specs, err := fault.ParseFaults(s)
+	if err != nil {
+		return nil, err
+	}
+	return specs, nil
+}
+
+// printFaultSummary reports the run's fault and recovery tallies, and
+// surfaces a divergence halt loudly — a halted run's final accuracy is
+// the accuracy at the halt, not at the configured horizon.
+func printFaultSummary(cfg *fl.Config, run *metrics.Run) {
+	if len(cfg.Faults) > 0 {
+		fmt.Printf("faults %v: retries %d, lost updates %d, duplicates %d, degraded rounds %d\n",
+			cfg.Faults, run.TotalRetries(), run.TotalDroppedUpdates(), run.TotalDupUpdates(), run.DegradedRounds())
+	}
+	if run.RecoveredRounds > 0 {
+		fmt.Printf("server crash: recovered %d round(s) from checkpoint (bit-identical replay)\n", run.RecoveredRounds)
+	}
+	if run.Rollbacks > 0 {
+		fmt.Printf("divergence guard: rolled back to checkpoint %d time(s)\n", run.Rollbacks)
+	}
+	if run.HaltReason != "" {
+		fmt.Printf("HALTED at round %d: %s\n", run.HaltRound+1, run.HaltReason)
+	}
+}

@@ -9,7 +9,9 @@
 //	flsim -dataset adult -alg TACO -clients 1000 -partition dir -phi 0.3 -memprofile heap.pprof
 //	flsim -dataset adult -alg FG -attack signflip -attack-frac 0.3
 //	flsim -dataset fmnist -alg TACO -compress topk -topk 0.01
-//	flsim -experiment compression
+//	flsim -dataset adult -alg TACO -fault crash:0.2,slow:0.3:4 -quorum 0.5
+//	flsim -dataset adult -alg TACO -fault servercrash:10 -checkpoint-every 5
+//	flsim -experiment faults
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/fl"
 	"repro/internal/partition"
 	"repro/internal/report"
@@ -65,6 +68,9 @@ func run() error {
 		attack      = flag.String("attack", "", "corrupt clients: kind[:frac[:scale]], kind one of "+strings.Join(adversary.KindNames(), "|"))
 		attackFrac  = flag.Float64("attack-frac", 0, "fraction of clients corrupted by -attack (0 = the spec's, default 0.25)")
 		attackScale = flag.Float64("attack-scale", 0, "magnitude of -attack (0 = the kind's default)")
+		faultStr    = flag.String("fault", "", "inject faults: comma-separated kind[:frac[:param]], kind one of "+strings.Join(fault.KindNames(), "|"))
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint the run every N rounds (0 = off; required for servercrash recovery beyond round 0)")
+		quorum      = flag.Float64("quorum", 0, "sync/deadline: commit a round degraded when fewer than this fraction of dispatched updates arrive (0 = off)")
 		experiment  = flag.String("experiment", "", "run a registered experiment (e.g. robustness), write results/<id>.txt, and exit; ids: "+strings.Join(experiments.IDs(), "|"))
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -217,6 +223,16 @@ func run() error {
 		fmt.Printf("attack %s (scale %v): corrupt clients %v\n", spec.Kind, spec.Scale, spec.Members(*clients))
 	}
 
+	faults, err := buildFaults(*faultStr)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = faults
+	// Forwarded unconditionally so Config.Validate rejects contradictory
+	// invocations (e.g. -quorum without -fault) instead of dropping them.
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.Quorum = *quorum
+
 	res, err := fl.Run(cfg, alg, net, part.Shards(train), test)
 	if err != nil {
 		return err
@@ -229,6 +245,12 @@ func run() error {
 			rec.Index+1, rec.Accuracy, rec.TrainLoss, rec.SlowestModeledSec, rec.SlowestMeasuredSec)
 		if policy != fl.PolicySync {
 			fmt.Printf("  stale %.2f/%d  drop %d", rec.MeanStaleness, rec.MaxStaleness, rec.DroppedClients)
+		}
+		if len(cfg.Faults) > 0 {
+			fmt.Printf("  retry %d  lost %d  dup %d", rec.Retries, rec.DroppedUpdates, rec.DupUpdates)
+			if rec.Degraded {
+				fmt.Printf("  DEGRADED")
+			}
 		}
 		fmt.Println()
 		accs[i] = rec.Accuracy
@@ -246,6 +268,7 @@ func run() error {
 		fmt.Printf("attack %s: mean corrupt weight mass %.3f (head-count share %.3f)\n",
 			spec.Kind, run.MeanCorruptWeight(), float64(len(spec.Members(*clients)))/float64(*clients))
 	}
+	printFaultSummary(&cfg, run)
 	if run.Diverged {
 		fmt.Printf("DIVERGED at round %d (the paper's '×' outcome)\n", run.DivergedRound)
 	}

@@ -1,0 +1,316 @@
+// Package ckpt provides the little-endian binary primitives shared by
+// every checkpoint writer in the repository: the fl run checkpoint and
+// the per-algorithm state serializers (Scaffold control variates, STEM
+// momentum, TACO's alpha tracker). All encoders write fixed-width
+// little-endian words via a stack scratch buffer — no reflection, no
+// per-value allocation — and every decoder length-checks before
+// allocating so corrupt or truncated input fails with an error instead
+// of a panic or an absurd allocation.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MaxElems bounds any single decoded slice length. Checkpoints in this
+// repository hold at most a few million parameters; a length beyond this
+// is corrupt input, rejected before allocation.
+const MaxElems = 1 << 28
+
+// growChunk caps a decoder's initial allocation: slices grow with the
+// data actually read (fuzz-safe against forged huge lengths).
+const growChunk = 1 << 13
+
+// WriteU64 writes one little-endian uint64.
+func WriteU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadU64 reads one little-endian uint64.
+func ReadU64(r io.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// WriteInt writes an int as a uint64 (two's complement).
+func WriteInt(w io.Writer, v int) error { return WriteU64(w, uint64(v)) }
+
+// ReadInt reads an int written by WriteInt.
+func ReadInt(r io.Reader) (int, error) {
+	v, err := ReadU64(r)
+	return int(v), err
+}
+
+// WriteBool writes a bool as one byte.
+func WriteBool(w io.Writer, v bool) error {
+	b := [1]byte{0}
+	if v {
+		b[0] = 1
+	}
+	_, err := w.Write(b[:])
+	return err
+}
+
+// ReadBool reads a bool written by WriteBool, rejecting bytes other than
+// 0 or 1.
+func ReadBool(r io.Reader) (bool, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return false, err
+	}
+	switch b[0] {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	default:
+		return false, fmt.Errorf("ckpt: invalid bool byte %#x", b[0])
+	}
+}
+
+// WriteF64 writes one float64 as its IEEE-754 bits.
+func WriteF64(w io.Writer, v float64) error { return WriteU64(w, math.Float64bits(v)) }
+
+// ReadF64 reads a float64 written by WriteF64.
+func ReadF64(r io.Reader) (float64, error) {
+	v, err := ReadU64(r)
+	return math.Float64frombits(v), err
+}
+
+// checkLen validates a decoded element count against MaxElems.
+func checkLen(n uint64, what string) (int, error) {
+	if n > MaxElems {
+		return 0, fmt.Errorf("ckpt: %s length %d exceeds limit %d (corrupt checkpoint)", what, n, MaxElems)
+	}
+	return int(n), nil
+}
+
+// WriteF64s writes a length-prefixed float64 slice. A nil slice and an
+// empty slice both encode as length 0.
+func WriteF64s(w io.Writer, v []float64) error {
+	if err := WriteU64(w, uint64(len(v))); err != nil {
+		return err
+	}
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadF64s reads a slice written by WriteF64s. Length 0 decodes as nil.
+func ReadF64s(r io.Reader) ([]float64, error) {
+	n, err := ReadU64(r)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := checkLen(n, "float64 slice")
+	if err != nil {
+		return nil, err
+	}
+	if ln == 0 {
+		return nil, nil
+	}
+	// Grow with the data actually read, so a forged length on truncated
+	// input fails with a small allocation, not an ln-sized one.
+	out := make([]float64, 0, min(ln, growChunk))
+	var buf [8]byte
+	for i := 0; i < ln; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+	}
+	return out, nil
+}
+
+// ReadF64sInto reads a slice written by WriteF64s into dst, requiring the
+// recorded length to match exactly len(dst).
+func ReadF64sInto(r io.Reader, dst []float64) error {
+	n, err := ReadU64(r)
+	if err != nil {
+		return err
+	}
+	if n != uint64(len(dst)) {
+		return fmt.Errorf("ckpt: recorded length %d, destination needs %d", n, len(dst))
+	}
+	var buf [8]byte
+	for i := range dst {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return err
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	return nil
+}
+
+// WriteF64Rows writes a length-prefixed slice of float64 slices; nil rows
+// are preserved via a presence byte (the lazy-allocation idiom used by
+// Scaffold's control variates and TACO's correction state).
+func WriteF64Rows(w io.Writer, rows [][]float64) error {
+	if err := WriteU64(w, uint64(len(rows))); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := WriteBool(w, row != nil); err != nil {
+			return err
+		}
+		if row != nil {
+			if err := WriteF64s(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadF64Rows reads rows written by WriteF64Rows, preserving nil rows.
+func ReadF64Rows(r io.Reader) ([][]float64, error) {
+	n, err := ReadU64(r)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := checkLen(n, "row slice")
+	if err != nil {
+		return nil, err
+	}
+	if ln == 0 {
+		return nil, nil
+	}
+	rows := make([][]float64, ln)
+	for i := range rows {
+		present, err := ReadBool(r)
+		if err != nil {
+			return nil, err
+		}
+		if present {
+			row, err := ReadF64s(r)
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				row = []float64{}
+			}
+			rows[i] = row
+		}
+	}
+	return rows, nil
+}
+
+// WriteInts writes a length-prefixed int slice.
+func WriteInts(w io.Writer, v []int) error {
+	if err := WriteU64(w, uint64(len(v))); err != nil {
+		return err
+	}
+	for _, x := range v {
+		if err := WriteInt(w, x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadInts reads a slice written by WriteInts. Length 0 decodes as nil.
+func ReadInts(r io.Reader) ([]int, error) {
+	n, err := ReadU64(r)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := checkLen(n, "int slice")
+	if err != nil {
+		return nil, err
+	}
+	if ln == 0 {
+		return nil, nil
+	}
+	out := make([]int, 0, min(ln, growChunk))
+	for i := 0; i < ln; i++ {
+		v, err := ReadInt(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// WriteBytes writes a length-prefixed byte slice.
+func WriteBytes(w io.Writer, v []byte) error {
+	if err := WriteU64(w, uint64(len(v))); err != nil {
+		return err
+	}
+	_, err := w.Write(v)
+	return err
+}
+
+// ReadBytes reads a slice written by WriteBytes.
+func ReadBytes(r io.Reader) ([]byte, error) {
+	n, err := ReadU64(r)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := checkLen(n, "byte slice")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, min(ln, growChunk))
+	var chunk [4096]byte
+	for ln > 0 {
+		c := min(ln, len(chunk))
+		if _, err := io.ReadFull(r, chunk[:c]); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk[:c]...)
+		ln -= c
+	}
+	return out, nil
+}
+
+// Marshaler is anything whose state serializes via MarshalBinary — in
+// this repository, rng stream cursors.
+type Marshaler interface {
+	MarshalBinary() ([]byte, error)
+}
+
+// Unmarshaler restores a cursor captured by WriteCursor.
+type Unmarshaler interface {
+	UnmarshalBinary([]byte) error
+}
+
+// WriteCursor serializes an rng cursor (or anything MarshalBinary-able).
+func WriteCursor(w io.Writer, m Marshaler) error {
+	data, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	return WriteBytes(w, data)
+}
+
+// ReadCursor restores a cursor written by WriteCursor.
+func ReadCursor(r io.Reader, u Unmarshaler) error {
+	data, err := ReadBytes(r)
+	if err != nil {
+		return err
+	}
+	return u.UnmarshalBinary(data)
+}
+
+// SkipCursor consumes a cursor written by WriteCursor without applying
+// it — used by the divergence-rollback restore path, which keeps the
+// live stream positions so the replayed rounds draw fresh batches.
+func SkipCursor(r io.Reader) error {
+	_, err := ReadBytes(r)
+	return err
+}

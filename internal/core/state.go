@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ckpt"
+	"repro/internal/fl"
+)
+
+// Checkpoint hooks (DESIGN.md §8). TACO's cross-round state is the
+// coefficient tracker (current α_i and the per-round history behind
+// Table II), the broadcast correction ∆^t, the output model z_t, the
+// freeloader strike counts, and the round-mean coefficient; the hybrids
+// carry subsets plus Scaffold-style control variates.
+
+var (
+	_ fl.StatefulAlgorithm = (*TACO)(nil)
+	_ fl.StatefulAlgorithm = (*FedProxTACO)(nil)
+	_ fl.StatefulAlgorithm = (*ScaffoldTACO)(nil)
+)
+
+// SaveState serializes the tracker's coefficients and history.
+func (t *AlphaTracker) SaveState(w io.Writer) error {
+	if err := ckpt.WriteF64s(w, t.alphas); err != nil {
+		return err
+	}
+	return ckpt.WriteF64Rows(w, t.history)
+}
+
+// LoadState restores state written by SaveState into a tracker created
+// for the same fleet size.
+func (t *AlphaTracker) LoadState(r io.Reader) error {
+	if err := ckpt.ReadF64sInto(r, t.alphas); err != nil {
+		return fmt.Errorf("alphas: %w", err)
+	}
+	hist, err := ckpt.ReadF64Rows(r)
+	if err != nil {
+		return fmt.Errorf("alpha history: %w", err)
+	}
+	for i, row := range hist {
+		if len(row) != len(t.alphas) {
+			return fmt.Errorf("alpha history row %d has %d entries for %d clients", i, len(row), len(t.alphas))
+		}
+	}
+	t.history = hist
+	return nil
+}
+
+// SaveState implements fl.StatefulAlgorithm.
+func (a *TACO) SaveState(w io.Writer) error {
+	if err := a.tracker.SaveState(w); err != nil {
+		return err
+	}
+	if err := ckpt.WriteF64s(w, a.corr); err != nil {
+		return err
+	}
+	if err := ckpt.WriteBool(w, a.z != nil); err != nil {
+		return err
+	}
+	if a.z != nil {
+		if err := ckpt.WriteF64s(w, a.z); err != nil {
+			return err
+		}
+	}
+	if err := ckpt.WriteInts(w, a.strikes); err != nil {
+		return err
+	}
+	return ckpt.WriteF64(w, a.mean)
+}
+
+// LoadState implements fl.StatefulAlgorithm.
+func (a *TACO) LoadState(r io.Reader) error {
+	if err := a.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("taco tracker: %w", err)
+	}
+	if err := ckpt.ReadF64sInto(r, a.corr); err != nil {
+		return fmt.Errorf("taco corr: %w", err)
+	}
+	hasZ, err := ckpt.ReadBool(r)
+	if err != nil {
+		return err
+	}
+	if hasZ {
+		if a.z == nil {
+			a.z = make([]float64, len(a.corr))
+		}
+		if err := ckpt.ReadF64sInto(r, a.z); err != nil {
+			return fmt.Errorf("taco z: %w", err)
+		}
+	} else {
+		a.z = nil
+	}
+	strikes, err := ckpt.ReadInts(r)
+	if err != nil {
+		return fmt.Errorf("taco strikes: %w", err)
+	}
+	if strikes != nil && len(strikes) != len(a.strikes) {
+		return fmt.Errorf("taco: %d strike counts for %d clients", len(strikes), len(a.strikes))
+	}
+	for i := range a.strikes {
+		if strikes == nil {
+			a.strikes[i] = 0
+		} else {
+			a.strikes[i] = strikes[i]
+		}
+	}
+	if a.mean, err = ckpt.ReadF64(r); err != nil {
+		return fmt.Errorf("taco mean: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements fl.StatefulAlgorithm.
+func (a *FedProxTACO) SaveState(w io.Writer) error {
+	if err := a.tracker.SaveState(w); err != nil {
+		return err
+	}
+	return ckpt.WriteF64(w, a.mean)
+}
+
+// LoadState implements fl.StatefulAlgorithm.
+func (a *FedProxTACO) LoadState(r io.Reader) error {
+	if err := a.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("fedprox(taco) tracker: %w", err)
+	}
+	var err error
+	if a.mean, err = ckpt.ReadF64(r); err != nil {
+		return fmt.Errorf("fedprox(taco) mean: %w", err)
+	}
+	return nil
+}
+
+// SaveState implements fl.StatefulAlgorithm.
+func (a *ScaffoldTACO) SaveState(w io.Writer) error {
+	if err := a.tracker.SaveState(w); err != nil {
+		return err
+	}
+	if err := ckpt.WriteF64(w, a.mean); err != nil {
+		return err
+	}
+	if err := ckpt.WriteF64s(w, a.c); err != nil {
+		return err
+	}
+	return ckpt.WriteF64Rows(w, a.ci)
+}
+
+// LoadState implements fl.StatefulAlgorithm.
+func (a *ScaffoldTACO) LoadState(r io.Reader) error {
+	if err := a.tracker.LoadState(r); err != nil {
+		return fmt.Errorf("scaffold(taco) tracker: %w", err)
+	}
+	var err error
+	if a.mean, err = ckpt.ReadF64(r); err != nil {
+		return fmt.Errorf("scaffold(taco) mean: %w", err)
+	}
+	if err := ckpt.ReadF64sInto(r, a.c); err != nil {
+		return fmt.Errorf("scaffold(taco) c: %w", err)
+	}
+	rows, err := ckpt.ReadF64Rows(r)
+	if err != nil {
+		return fmt.Errorf("scaffold(taco) ci: %w", err)
+	}
+	if rows != nil && len(rows) != len(a.ci) {
+		return fmt.Errorf("scaffold(taco): %d control-variate rows for %d clients", len(rows), len(a.ci))
+	}
+	for i := range a.ci {
+		var row []float64
+		if rows != nil {
+			row = rows[i]
+		}
+		if row == nil {
+			a.ci[i], a.corr[i] = nil, nil
+			continue
+		}
+		if len(row) != a.d {
+			return fmt.Errorf("scaffold(taco): client %d variate length %d, want %d", i, len(row), a.d)
+		}
+		a.ci[i] = row
+		if a.corr[i] == nil {
+			a.corr[i] = make([]float64, a.d)
+		}
+	}
+	return nil
+}

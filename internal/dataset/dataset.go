@@ -111,6 +111,10 @@ func NewSampler(data *Dataset, r *rng.RNG) *Sampler {
 	return &Sampler{data: data, r: r}
 }
 
+// Stream exposes the sampler's random stream so checkpointing code can
+// capture and restore its cursor.
+func (s *Sampler) Stream() *rng.RNG { return s.r }
+
 // Batch fills x and y with a uniformly sampled mini-batch of size
 // len(y). When the dataset is smaller than the batch, samples repeat.
 func (s *Sampler) Batch(x []float64, y []int) {

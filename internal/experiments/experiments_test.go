@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"compression", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"compression", "faults", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}
@@ -195,6 +195,37 @@ func TestCompressionArtifact(t *testing.T) {
 	for _, frag := range []string{"FedAvg", "Scaffold", "TACO", "Uplink", "Ratio", "MiB", "1.0x"} {
 		if !strings.Contains(s, frag) {
 			t.Fatalf("compression render missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+// TestFaultsArtifact runs the fault-injection × policy study end to end
+// at bench scale and checks the rendered shape: every fault condition,
+// every method, and the per-policy recovery-tally columns.
+func TestFaultsArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 45 small runs")
+	}
+	r := NewRunner(ScaleBench)
+	tbl, err := Faults(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, cond := range faultConditions() {
+		if !strings.Contains(s, cond.name) {
+			t.Fatalf("faults render missing condition %q:\n%s", cond.name, s)
+		}
+	}
+	for _, frag := range []string{"FedAvg", "Scaffold", "TACO", "degr", "lost", "retry"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("faults render missing %q:\n%s", frag, s)
+		}
+	}
+	// 5 conditions × 3 methods.
+	for _, cond := range faultConditions() {
+		if strings.Count(s, cond.name) < 3 {
+			t.Fatalf("condition %s missing rows:\n%s", cond.name, s)
 		}
 	}
 }

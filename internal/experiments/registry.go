@@ -41,6 +41,7 @@ var registry = map[string]Runnable{
 	"scale1k":     func(r *Runner) ([]Artifact, error) { return one(Scale1k(r)) },
 	"robustness":  func(r *Runner) ([]Artifact, error) { return one(Robustness(r)) },
 	"compression": func(r *Runner) ([]Artifact, error) { return one(Compression(r)) },
+	"faults":      func(r *Runner) ([]Artifact, error) { return one(Faults(r)) },
 }
 
 func one[T Artifact](t T, err error) ([]Artifact, error) {

@@ -1,0 +1,344 @@
+package fl_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/rng"
+	"repro/internal/simclock"
+)
+
+// ckptCapture retains every checkpoint a run emits (the callback's
+// buffer is reused, so each blob is copied).
+type ckptCapture struct {
+	rounds []int
+	blobs  [][]byte
+}
+
+func (c *ckptCapture) hook() func(int, []byte) {
+	return func(round int, data []byte) {
+		c.rounds = append(c.rounds, round)
+		c.blobs = append(c.blobs, append([]byte(nil), data...))
+	}
+}
+
+func (c *ckptCapture) at(round int) []byte {
+	for i, r := range c.rounds {
+		if r == round {
+			return c.blobs[i]
+		}
+	}
+	return nil
+}
+
+// sameRounds compares two metric histories field for field, zeroing the
+// measured (real) wall-time fields, which are inherently noisy.
+func sameRounds(t *testing.T, want, got []metrics.Round) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("round count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		w.SlowestMeasuredSec, g.SlowestMeasuredSec = 0, 0
+		w.CumMeasuredSec, g.CumMeasuredSec = 0, 0
+		if w != g {
+			t.Fatalf("round %d record mismatch:\nwant %+v\ngot  %+v", i, w, g)
+		}
+	}
+}
+
+// sameParams compares parameter vectors bit-exactly.
+func sameParams(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("param count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("param %d: want %v, got %v (bit mismatch)", i, want[i], got[i])
+		}
+	}
+}
+
+// faultedConfig is the checkpoint tests' base configuration: a fault mix
+// exercising every per-dispatch kind, periodic checkpoints, and the
+// policy's required knobs.
+func faultedConfig(t *testing.T, policy fl.AggregationPolicy, seed uint64, net *nn.Network) fl.Config {
+	t.Helper()
+	faults, err := fault.ParseFaults("crash:0.2,drop:0.15,dup:0.2,slow:0.3:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Rounds:          8,
+		LocalSteps:      4,
+		BatchSize:       16,
+		LocalLR:         0.05,
+		Seed:            seed,
+		Policy:          policy,
+		Faults:          faults,
+		CheckpointEvery: 3,
+	}
+	switch policy {
+	case fl.PolicyDeadline:
+		cfg.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, simclock.Plain())
+	case fl.PolicyAsync:
+		cfg.AsyncBuffer = 3
+	}
+	return cfg
+}
+
+// TestCheckpointResumeBitIdentical is the tentpole's acceptance test:
+// run to completion capturing checkpoints, then resume a fresh engine
+// from the mid-run checkpoint and require the final weights and every
+// replayed round record to match the uninterrupted run bit-exactly —
+// under all three policies, both seeds, with faults live and a stateful
+// algorithm (TACO: tracker, correction, z, strikes all checkpointed).
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	for _, policy := range []fl.AggregationPolicy{fl.PolicySync, fl.PolicyDeadline, fl.PolicyAsync} {
+		for _, seed := range []uint64{11, 29} {
+			t.Run(fmt.Sprintf("%v-seed%d", policy, seed), func(t *testing.T) {
+				cfg := faultedConfig(t, policy, seed, net)
+				cap := &ckptCapture{}
+				cfg.OnCheckpoint = cap.hook()
+				want, err := fl.Run(cfg, core.New(core.Recommended()), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob := cap.at(3)
+				if blob == nil {
+					t.Fatalf("no checkpoint at round 3 (captured rounds %v)", cap.rounds)
+				}
+				cfg.OnCheckpoint = nil
+				got, err := fl.Resume(cfg, core.New(core.Recommended()), net, shards, test, blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameParams(t, want.FinalParams, got.FinalParams)
+				sameRounds(t, want.Run.Rounds, got.Run.Rounds)
+				if got.Run.RecoveredRounds != 0 || got.Run.Rollbacks != 0 {
+					t.Fatalf("clean resume reported recovery: %d recovered, %d rollbacks",
+						got.Run.RecoveredRounds, got.Run.Rollbacks)
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointResumeWithCompression pins checkpointing of the codec
+// state: quantization stream cursors, error-feedback residuals, and
+// (under async) the in-flight encoded payloads.
+func TestCheckpointResumeWithCompression(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	for _, policy := range []fl.AggregationPolicy{fl.PolicySync, fl.PolicyAsync} {
+		t.Run(fmt.Sprintf("%v", policy), func(t *testing.T) {
+			cfg := faultedConfig(t, policy, 11, net)
+			cfg.Compress = compress.Spec{Kind: compress.KindInt8, Chunk: 256}
+			cap := &ckptCapture{}
+			cfg.OnCheckpoint = cap.hook()
+			want, err := fl.Run(cfg, baselines.NewScaffold(1), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.OnCheckpoint = nil
+			got, err := fl.Resume(cfg, baselines.NewScaffold(1), net, shards, test, cap.at(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameParams(t, want.FinalParams, got.FinalParams)
+			sameRounds(t, want.Run.Rounds, got.Run.Rounds)
+		})
+	}
+}
+
+// TestServerCrashReplayBitIdentical pins the in-run recovery path: a
+// servercrash fault kills the run at round 5, the engine restores the
+// round-4 checkpoint with its rng cursors, and the replayed rounds are
+// bit-identical — so the whole run matches a crash-free config exactly,
+// with the detour visible only in RecoveredRounds.
+func TestServerCrashReplayBitIdentical(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	algs := map[string]func() fl.Algorithm{
+		"taco":     func() fl.Algorithm { return core.New(core.Recommended()) },
+		"scaffold": func() fl.Algorithm { return baselines.NewScaffold(1) },
+		"stem":     func() fl.Algorithm { return baselines.NewSTEM(0.2) },
+	}
+	for _, policy := range []fl.AggregationPolicy{fl.PolicySync, fl.PolicyDeadline, fl.PolicyAsync} {
+		for name, alg := range algs {
+			t.Run(fmt.Sprintf("%v-%s", policy, name), func(t *testing.T) {
+				base := faultedConfig(t, policy, 11, net)
+				base.Faults = nil
+				base.CheckpointEvery = 0
+				want, err := fl.Run(base, alg(), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				crashed := base
+				crashed.Faults = []fault.Spec{{Kind: fault.KindServerCrash, Round: 5}}
+				crashed.CheckpointEvery = 2
+				got, err := fl.Run(crashed, alg(), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameParams(t, want.FinalParams, got.FinalParams)
+				sameRounds(t, want.Run.Rounds, got.Run.Rounds)
+				if got.Run.RecoveredRounds != 1 {
+					t.Fatalf("RecoveredRounds = %d, want 1 (crash at 5, checkpoint at 4)", got.Run.RecoveredRounds)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeRejectsMismatch pins the fingerprint guard: a checkpoint
+// must not resume under a different config, algorithm, or after header
+// corruption.
+func TestResumeRejectsMismatch(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	cfg := fl.Config{Rounds: 4, LocalSteps: 3, BatchSize: 8, LocalLR: 0.05, Seed: 11, CheckpointEvery: 2}
+	cap := &ckptCapture{}
+	cfg.OnCheckpoint = cap.hook()
+	if _, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test); err != nil {
+		t.Fatal(err)
+	}
+	blob := cap.at(2)
+	if blob == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	cfg.OnCheckpoint = nil
+
+	otherSeed := cfg
+	otherSeed.Seed = 12
+	if _, err := fl.Resume(otherSeed, baselines.NewFedAvg(), net, shards, test, blob); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("seed mismatch: err = %v, want fingerprint rejection", err)
+	}
+	if _, err := fl.Resume(cfg, core.New(core.Recommended()), net, shards, test, blob); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("algorithm mismatch: err = %v, want fingerprint rejection", err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xff
+	if _, err := fl.Resume(cfg, baselines.NewFedAvg(), net, shards, test, bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("corrupt magic: err = %v, want magic rejection", err)
+	}
+	if _, err := fl.Resume(cfg, baselines.NewFedAvg(), net, shards, test, blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// nanBomb is FedAvg that poisons the model with a NaN at its nth
+// aggregation, once. The fired latch is deliberately NOT checkpointed
+// (nanBomb is not a StatefulAlgorithm), modeling a transient blow-up:
+// after a rollback the replayed window is clean.
+type nanBomb struct {
+	*baselines.FedAvg
+	bombAt int
+	aggs   int
+	fired  bool
+}
+
+func (a *nanBomb) Aggregate(s *fl.ServerCtx, updates []fl.Update) {
+	a.FedAvg.Aggregate(s, updates)
+	a.aggs++
+	if !a.fired && a.aggs == a.bombAt {
+		a.fired = true
+		s.W[0] = math.NaN()
+	}
+}
+
+// TestDivergenceRollback pins the divergence guard: with checkpoints
+// armed, a non-finite model rolls back to the last checkpoint (keeping
+// the live rng cursors, so the replay draws fresh batches) instead of
+// halting, and the run completes.
+func TestDivergenceRollback(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	cfg := fl.Config{Rounds: 8, LocalSteps: 3, BatchSize: 8, LocalLR: 0.05, Seed: 11, CheckpointEvery: 2}
+	res, err := fl.Run(cfg, &nanBomb{FedAvg: baselines.NewFedAvg(), bombAt: 6}, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Run.Rollbacks != 1 {
+		t.Fatalf("Rollbacks = %d, want 1", res.Run.Rollbacks)
+	}
+	if res.Run.Diverged || res.Run.HaltRound != 0 || res.Run.HaltReason != "" {
+		t.Fatalf("run should have recovered: Diverged=%v HaltRound=%d HaltReason=%q",
+			res.Run.Diverged, res.Run.HaltRound, res.Run.HaltReason)
+	}
+	if len(res.Run.Rounds) != cfg.Rounds {
+		t.Fatalf("completed %d rounds, want %d", len(res.Run.Rounds), cfg.Rounds)
+	}
+	for i, v := range res.FinalParams {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("final param %d non-finite after rollback: %v", i, v)
+		}
+	}
+}
+
+// TestDivergenceHaltSurfaced pins the no-checkpoint behavior: the run
+// halts and the halt is recorded on the Run — never silent.
+func TestDivergenceHaltSurfaced(t *testing.T) {
+	net, shards, test := testSetup(t, 6)
+	cfg := fl.Config{Rounds: 8, LocalSteps: 3, BatchSize: 8, LocalLR: 0.05, Seed: 11}
+	res, err := fl.Run(cfg, &nanBomb{FedAvg: baselines.NewFedAvg(), bombAt: 6}, net, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Run.Diverged || res.Run.DivergedRound != 5 {
+		t.Fatalf("Diverged=%v DivergedRound=%d, want divergence at round 5",
+			res.Run.Diverged, res.Run.DivergedRound)
+	}
+	if res.Run.HaltRound != 5 || !strings.Contains(res.Run.HaltReason, "diverged") {
+		t.Fatalf("HaltRound=%d HaltReason=%q, want halt surfaced at round 5",
+			res.Run.HaltRound, res.Run.HaltReason)
+	}
+}
+
+// FuzzCheckpointRestore feeds arbitrary bytes to Resume: corrupt or
+// truncated checkpoints must fail with an error, never a panic or an
+// absurd allocation.
+func FuzzCheckpointRestore(f *testing.F) {
+	train, test, err := dataset.Standard("adult", dataset.ScaleSmall, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, 4, 0.5, rng.New(4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	net, err := dataset.Model("adult")
+	if err != nil {
+		f.Fatal(err)
+	}
+	shards := part.Shards(train)
+
+	cfg := fl.Config{Rounds: 3, LocalSteps: 2, BatchSize: 8, LocalLR: 0.05, Seed: 5, CheckpointEvery: 1}
+	cap := &ckptCapture{}
+	cfg.OnCheckpoint = cap.hook()
+	if _, err := fl.Run(cfg, baselines.NewFedAvg(), net, shards, test); err != nil {
+		f.Fatal(err)
+	}
+	cfg.OnCheckpoint = nil
+	for _, blob := range cap.blobs {
+		f.Add(blob)
+		f.Add(blob[:len(blob)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("FLCKPT01 but then garbage follows the magic bytes here"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = fl.Resume(cfg, baselines.NewFedAvg(), net, shards, test, data)
+	})
+}

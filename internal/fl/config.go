@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/compress"
+	"repro/internal/fault"
 	"repro/internal/simclock"
 )
 
@@ -134,6 +135,45 @@ type Config struct {
 	// residuals; DESIGN.md §7). The zero value is dense transport,
 	// bit-identical to the pre-codec engine.
 	Compress compress.Spec
+	// Faults declares benign failure injection (DESIGN.md §8): client
+	// crashes, uplink loss or duplication, tail-latency spikes, and a
+	// simulated server crash. Per-dispatch outcomes draw from dedicated
+	// rng streams derived after every honest, adversary, and compression
+	// stream, so an empty list is bit-identical to the fault-free golden.
+	Faults []fault.Spec
+	// FaultRetries is the number of fault-triggered re-dispatches allowed
+	// per client dispatch on top of the first attempt; 0 means 2, -1
+	// means none. Only meaningful with Faults.
+	FaultRetries int
+	// FaultTimeoutFactor multiplies a dispatch's fault-free modeled
+	// completion time (availability wait + compute) to form its timeout
+	// budget; a dispatch not delivered within the budget is retried.
+	// 0 means 3; must be >= 1 (a sub-unit budget would time out every
+	// dispatch and starve the async policy). Only meaningful with Faults.
+	FaultTimeoutFactor float64
+	// FaultBackoffSec is the base of the deterministic exponential
+	// backoff between retry dispatches (doubled per attempt, jittered
+	// from the client's fault stream); 0 means a quarter of the nominal
+	// modeled round. Only meaningful with Faults.
+	FaultBackoffSec float64
+	// Quorum is the fraction of the round's dispatched updates that must
+	// be delivered for the round to commit cleanly; below it the round
+	// still commits but is recorded as degraded (metrics.Round.Degraded —
+	// never silent). 0 disables the check. Sync and deadline policies
+	// only, and only meaningful with Faults.
+	Quorum float64
+	// CheckpointEvery serializes the full run state (model, per-client
+	// algorithm state, EF residuals, rng cursors, async in-flight work)
+	// every this many rounds; resume from any checkpoint is bit-identical
+	// to the uninterrupted run. It also arms the divergence guard: a
+	// round producing non-finite parameters rolls back to the last
+	// checkpoint instead of halting. 0 disables periodic checkpoints
+	// (a servercrash fault still forces an initial one).
+	CheckpointEvery int
+	// OnCheckpoint, when set, receives every serialized checkpoint with
+	// the 0-based round it resumes at. The byte slice is reused by the
+	// next checkpoint; copy it to retain.
+	OnCheckpoint func(round int, data []byte)
 }
 
 // Validate reports configuration errors.
@@ -184,6 +224,49 @@ func (c Config) Validate() error {
 	if err := c.Compress.Validate(); err != nil {
 		return fmt.Errorf("fl: %w", err)
 	}
+	if len(c.Faults) == 0 {
+		switch {
+		case c.FaultRetries != 0:
+			return fmt.Errorf("fl: FaultRetries %d is only meaningful with Faults", c.FaultRetries)
+		case c.FaultTimeoutFactor != 0:
+			return fmt.Errorf("fl: FaultTimeoutFactor %v is only meaningful with Faults", c.FaultTimeoutFactor)
+		case c.FaultBackoffSec != 0:
+			return fmt.Errorf("fl: FaultBackoffSec %v is only meaningful with Faults", c.FaultBackoffSec)
+		case c.Quorum != 0:
+			return fmt.Errorf("fl: Quorum %v is only meaningful with Faults", c.Quorum)
+		}
+	} else {
+		switch {
+		case c.FaultRetries < -1:
+			return fmt.Errorf("fl: FaultRetries %d must be >= -1 (-1 disables retries, 0 means the default)", c.FaultRetries)
+		case c.FaultTimeoutFactor < 0 || (c.FaultTimeoutFactor > 0 && c.FaultTimeoutFactor < 1):
+			return fmt.Errorf("fl: FaultTimeoutFactor %v must be >= 1 (a sub-unit budget times out every dispatch)", c.FaultTimeoutFactor)
+		case c.FaultBackoffSec < 0:
+			return fmt.Errorf("fl: FaultBackoffSec %v must be non-negative", c.FaultBackoffSec)
+		case c.Quorum < 0 || c.Quorum > 1:
+			return fmt.Errorf("fl: Quorum %v must be in [0,1]", c.Quorum)
+		case c.Quorum > 0 && c.Policy == PolicyAsync:
+			return fmt.Errorf("fl: Quorum is incompatible with PolicyAsync (there is no per-round dispatch set)")
+		}
+		crashes := 0
+		for i, spec := range c.Faults {
+			if err := spec.Validate(); err != nil {
+				return fmt.Errorf("fl: fault %d: %w", i, err)
+			}
+			if spec.Kind == fault.KindServerCrash {
+				crashes++
+				if spec.Round >= c.Rounds {
+					return fmt.Errorf("fl: servercrash round %d must be < Rounds %d", spec.Round, c.Rounds)
+				}
+			}
+		}
+		if crashes > 1 {
+			return fmt.Errorf("fl: at most one servercrash fault per run")
+		}
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("fl: CheckpointEvery %d must be non-negative", c.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -209,6 +292,35 @@ func (c Config) asyncBuffer() int {
 		return c.AsyncBuffer
 	}
 	return 1
+}
+
+// faultRetries resolves the retry-budget default.
+func (c Config) faultRetries() int {
+	switch {
+	case c.FaultRetries > 0:
+		return c.FaultRetries
+	case c.FaultRetries < 0:
+		return 0
+	default:
+		return 2
+	}
+}
+
+// faultTimeoutFactor resolves the timeout-budget default.
+func (c Config) faultTimeoutFactor() float64 {
+	if c.FaultTimeoutFactor > 0 {
+		return c.FaultTimeoutFactor
+	}
+	return 3
+}
+
+// faultBackoff resolves the backoff base default against the nominal
+// modeled round duration.
+func (c Config) faultBackoff(baseRound float64) float64 {
+	if c.FaultBackoffSec > 0 {
+		return c.FaultBackoffSec
+	}
+	return 0.25 * baseRound
 }
 
 // devices resolves the fleet default (n nominal always-available devices).

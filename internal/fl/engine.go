@@ -53,24 +53,43 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 	}
 	defer s.pool.close()
 
-	switch cfg.Policy {
-	case PolicyDeadline:
-		err = s.runDeadline()
-	case PolicyAsync:
-		err = s.runAsync()
-	default:
-		err = s.runSync()
+	if err := s.runAll(false); err != nil {
+		return nil, err
 	}
+	return s.result(), nil
+}
+
+// Resume rebuilds a run from a checkpoint produced by Config.OnCheckpoint
+// (or an external capture of one) and continues it to completion. The
+// config, model architecture, algorithm, and client shards must match the
+// checkpointed run — a fingerprint in the header rejects mismatches — and
+// the resumed run's remaining rounds replay bit-identically to the
+// uninterrupted original: same batches, same fault outcomes, same final
+// weights.
+func Resume(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset, checkpoint []byte) (*Result, error) {
+	s, err := newScheduler(cfg, alg, net, shards, test)
 	if err != nil {
 		return nil, err
 	}
+	defer s.pool.close()
 
+	if err := s.restore(checkpoint, true); err != nil {
+		return nil, err
+	}
+	if err := s.runAll(true); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+// result packages the scheduler's final state.
+func (s *scheduler) result() *Result {
 	return &Result{
 		Run:         s.run,
-		FinalParams: vecmath.Clone(alg.FinalModel(s.params)),
+		FinalParams: vecmath.Clone(s.alg.FinalModel(s.params)),
 		Expelled:    s.expelled,
 		CumWeights:  s.cumWeights,
-	}, nil
+	}
 }
 
 // newScheduler validates the configuration and builds the run state: the
@@ -135,9 +154,10 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 
 	pool := newSlotPool(net, cfg, n)
 	if cfg.Compress.Kind != compress.KindNone {
-		// Quantization streams derive last of all, so a dense-transport
-		// config draws nothing here and stays bit-identical to the
-		// pre-codec engine (the sync golden pins this).
+		// Quantization streams derive after every honest and adversary
+		// stream, so a dense-transport config draws nothing here and
+		// stays bit-identical to the pre-codec engine (the sync golden
+		// pins this).
 		codec, err := cfg.Compress.Codec()
 		if err != nil {
 			pool.close()
@@ -154,6 +174,12 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		pool.comp = comp
 	}
 
+	baseRound := simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs())
+	// Fault streams derive last of all (after compression), so a
+	// zero-fault config draws nothing here and stays bit-identical to
+	// the fault-free golden.
+	plan := newFaultPlan(&cfg, n, baseRound, root)
+
 	s := &scheduler{
 		cfg:       cfg,
 		alg:       alg,
@@ -167,12 +193,19 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		run:       &metrics.Run{Algorithm: alg.Name(), Dataset: test.Name},
 		evalEng:   nn.NewEngine(net, min(256, max(1, test.Len()))),
 		test:      test,
-		baseRound: simclock.RoundSeconds(net.GradFlops(cfg.BatchSize), cfg.LocalSteps, alg.Costs()),
+		baseRound: baseRound,
 		partRNG:   partRNG,
+		plan:      plan,
 		ids:       make([]int, 0, n),
 		include:   make([]int, 0, n),
 		updates:   make([]Update, n),
 		measured:  make([]float64, n),
+	}
+	if plan != nil && plan.anyDispatch {
+		s.dupFlags = make([]bool, 0, n)
+		if cfg.Policy == PolicyAsync {
+			s.attempts = make([]int, n)
+		}
 	}
 	for _, c := range clients {
 		if c.corrupt() {

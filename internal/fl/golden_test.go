@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/partition"
@@ -215,6 +216,19 @@ func TestSyncPolicyMatchesPreSchedulerEngine(t *testing.T) {
 		// A declared-but-empty adversary list is the honest run: it must
 		// reproduce the adversary-free golden trace bit-identically.
 		{"fedavg-empty-adversaries", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.Adversaries = []adversary.Spec{} }},
+		// A declared-but-empty fault list derives no fault streams and
+		// must reproduce the fault-free golden trace bit-identically.
+		{"fedavg-empty-faults", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.Faults = []fault.Spec{} }},
+		// Periodic checkpointing is pure observation: snapshots must not
+		// perturb a single draw or byte of the training trajectory.
+		{"fedavg-checkpointing", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.CheckpointEvery = 2 }},
+		// A server crash restores the last checkpoint with its rng
+		// cursors; the replayed rounds are bit-identical, so the whole
+		// run still matches the crash-free reference.
+		{"fedavg-servercrash-replay", func() Algorithm { return goldenFedAvg{} }, func(c *Config) {
+			c.Faults = []fault.Spec{{Kind: fault.KindServerCrash, Round: 3}}
+			c.CheckpointEvery = 2
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/compress"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/nn"
 	"repro/internal/partition"
 	"repro/internal/rng"
@@ -42,7 +43,12 @@ func poolSetup(t testing.TB, n int) (*nn.Network, []*dataset.Dataset, *dataset.D
 // whose payload buffers ride the delta ring and whose error-feedback
 // residuals are lazily allocated during warmup. Evaluation is pushed
 // past the measured window (EvalEvery) because test-set accuracy is on
-// the eval cadence, not the per-round hot path.
+// the eval cadence, not the per-round hot path. Fault injection rides
+// the same contract: the fault plan, dup flags, and retry tables are all
+// provisioned at setup, so fault-resolved rounds (crash/drop/dup/slow
+// draws, retry chains, quorum checks) allocate nothing either —
+// checkpoint rounds are excluded (CheckpointEvery 0 here); snapshots
+// are allowed to allocate.
 func TestSteadyStateAllocs(t *testing.T) {
 	net, shards, test := poolSetup(t, 8)
 	injectors := []adversary.Spec{
@@ -50,15 +56,25 @@ func TestSteadyStateAllocs(t *testing.T) {
 		{Kind: adversary.KindScale, Clients: []int{3}, Scale: 2},
 		{Kind: adversary.KindDeltaNoise, Clients: []int{3, 5}, Scale: 1},
 	}
+	faultMix := []fault.Spec{
+		{Kind: fault.KindCrash, Frac: 0.2},
+		{Kind: fault.KindDrop, Frac: 0.15},
+		{Kind: fault.KindDup, Frac: 0.2},
+		{Kind: fault.KindSlow, Frac: 0.3, Param: 3},
+	}
 	variants := []struct {
 		name     string
 		adv      bool
 		compress compress.Spec
+		faults   []fault.Spec
+		quorum   float64
 	}{
 		{name: "", adv: false},
 		{name: "-injectors", adv: true},
 		{name: "-topk", compress: compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.1}},
 		{name: "-int8", compress: compress.Spec{Kind: compress.KindInt8, Chunk: 256}},
+		{name: "-faults", faults: faultMix, quorum: 0.5},
+		{name: "-faults-int8", faults: faultMix, compress: compress.Spec{Kind: compress.KindInt8, Chunk: 256}},
 	}
 	for _, v := range variants {
 		for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
@@ -76,6 +92,13 @@ func TestSteadyStateAllocs(t *testing.T) {
 				}
 				if v.adv {
 					cfg.Adversaries = injectors
+				}
+				if v.faults != nil {
+					cfg.Faults = v.faults
+					if policy != PolicyAsync {
+						// Quorum is a round-commit concept; async has no rounds.
+						cfg.Quorum = v.quorum
+					}
 				}
 				switch policy {
 				case PolicyDeadline:

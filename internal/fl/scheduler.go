@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -75,6 +76,36 @@ type scheduler struct {
 	version     int
 	lastAgg     float64
 	bufMeasured float64
+
+	// Fault-injection and recovery state (fault.go, checkpoint.go). plan
+	// is nil for zero-fault configs, which keeps every fault branch off
+	// the golden-pinned path. dupFlags marks delivered-twice updates per
+	// include position; attempts tracks async per-client consecutive
+	// failed dispatch attempts. All are sized at setup so fault-enabled
+	// steady-state rounds still allocate nothing.
+	plan     *faultPlan
+	dupFlags []bool
+	attempts []int
+	// Async per-step fault counters, flushed into each round record.
+	stepRetries  int
+	stepDropped  int
+	stepDups     int
+	stepDupBytes int64
+	failStreak   int
+
+	// Checkpoint/restore state: startRound is the first round to execute
+	// (non-zero after a restore); ckptBuf is the reusable encode scratch
+	// and lastCkpt the retained copy of the newest checkpoint.
+	// serverCrashed latches the one-shot servercrash fault; recovered and
+	// rollbacks count replayed rounds and divergence rollbacks — they
+	// live outside the checkpointed state so restores cannot erase them.
+	startRound    int
+	serverCrashed bool
+	recovered     int
+	rollbacks     int
+	ckptBuf       bytes.Buffer
+	lastCkpt      []byte
+	lastCkptRound int
 }
 
 // participants collects the round's participating clients in ID order
@@ -221,44 +252,163 @@ func (s *scheduler) slowestHonest(ids []int, measured []float64, at float64) flo
 // the pre-scheduler engine bit-identically (golden-tested: for an
 // always-available device finishRel collapses to Seconds(baseRound)
 // exactly).
-func (s *scheduler) runSync() error {
-	for t := 0; t < s.cfg.Rounds; t++ {
-		halt, err := s.syncRound(t)
+func (s *scheduler) runSync() error { return s.runRounds(s.syncRound) }
+
+// runAll drives the configured policy's round loop. resumed marks a run
+// restored from a checkpoint, whose async in-flight state was rebuilt by
+// restore instead of setupAsync's initial dispatch wave.
+func (s *scheduler) runAll(resumed bool) error {
+	if s.cfg.Policy == PolicyAsync && !resumed {
+		if err := s.setupAsync(); err != nil {
+			return err
+		}
+	}
+	switch s.cfg.Policy {
+	case PolicyDeadline:
+		return s.runRounds(s.deadlineRound)
+	case PolicyAsync:
+		return s.runRounds(s.asyncStep)
+	default:
+		return s.runRounds(s.syncRound)
+	}
+}
+
+// wantCheckpoints reports whether the run snapshots state: periodically
+// when CheckpointEvery is set, and at minimum once at the start when a
+// servercrash fault needs something to restart from.
+func (s *scheduler) wantCheckpoints() bool {
+	return s.cfg.CheckpointEvery > 0 || (s.plan != nil && s.plan.crashRound >= 0)
+}
+
+// runRounds is the policy-independent round loop with the recovery
+// machinery around one policy's step function: an initial checkpoint
+// when checkpointing is armed, periodic checkpoints every CheckpointEvery
+// rounds, the one-shot simulated server crash (restore the last
+// checkpoint with its rng cursors and replay bit-identically), and the
+// divergence guard (roll back to the last checkpoint keeping the live
+// cursors — so the replay draws fresh batches — instead of halting,
+// up to maxRollbacks times).
+func (s *scheduler) runRounds(step func(int) (bool, error)) error {
+	if s.wantCheckpoints() && s.lastCkpt == nil {
+		if err := s.snapshot(s.startRound); err != nil {
+			return err
+		}
+	}
+	for t := s.startRound; t < s.cfg.Rounds; {
+		if s.plan != nil && s.plan.crashRound == t && !s.serverCrashed {
+			s.serverCrashed = true
+			restored, err := s.restoreLast(true)
+			if err != nil {
+				return err
+			}
+			s.recovered += t - restored
+			t = restored
+			continue
+		}
+		halt, err := step(t)
 		if err != nil {
 			return err
 		}
 		if halt {
+			if s.lastCkpt != nil && s.rollbacks < maxRollbacks {
+				restored, err := s.restoreLast(false)
+				if err != nil {
+					return err
+				}
+				s.rollbacks++
+				s.run.Diverged = false
+				s.run.DivergedRound = 0
+				t = restored
+				continue
+			}
+			s.run.HaltRound = t
+			s.run.HaltReason = "diverged: non-finite parameters"
 			break
 		}
+		t++
+		if s.cfg.CheckpointEvery > 0 && t < s.cfg.Rounds && t%s.cfg.CheckpointEvery == 0 {
+			if err := s.snapshot(t); err != nil {
+				return err
+			}
+		}
 	}
+	s.run.RecoveredRounds = s.recovered
+	s.run.Rollbacks = s.rollbacks
 	return nil
 }
 
 // syncRound executes one synchronous round; halt reports divergence.
+// Under a fault plan, each participant's dispatch is resolved first
+// (crash/drop/slow/dup draws plus retry chains, in client-id order from
+// the scheduler goroutine); only the delivering clients train, and the
+// server's wait covers the losers' full timeout chains.
 func (s *scheduler) syncRound(t int) (halt bool, err error) {
 	ids, err := s.participants(t)
 	if err != nil {
 		return false, err
 	}
-	updates := s.updates[:len(ids)]
-	measured := s.measured[:len(ids)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, t, s.now, s.params, s.wPrev, updates, measured)
-
-	// The synchronous server waits for the slowest honest device.
-	var slowestModeled float64
-	for _, id := range ids {
-		if s.clients[id].fabricatorAt(s.now) != nil {
-			continue
+	faulty := s.plan != nil && s.plan.anyDispatch
+	include := ids
+	var (
+		slowestModeled                        float64
+		dup                                   []bool
+		roundRetries, roundDropped, roundDups int
+		degraded                              bool
+	)
+	if faulty {
+		include = s.include[:0]
+		dup = s.dupFlags[:0]
+		for _, id := range ids {
+			out := s.resolveDispatch(id, s.now)
+			roundRetries += out.retries
+			if s.clients[id].fabricatorAt(s.now) == nil && out.rel > slowestModeled {
+				slowestModeled = out.rel
+			}
+			if !out.delivered {
+				roundDropped++
+				continue
+			}
+			include = append(include, id)
+			dup = append(dup, out.dup)
+			if out.dup {
+				roundDups++
+			}
 		}
-		if m := s.finishRel(id, s.now); m > slowestModeled {
-			slowestModeled = m
+		s.include = include[:0]
+		s.dupFlags = dup[:0]
+		degraded = s.degraded(len(include), len(ids))
+	}
+
+	updates := s.updates[:len(include)]
+	measured := s.measured[:len(include)]
+	if len(include) > 0 {
+		s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
+	}
+
+	if !faulty {
+		// The synchronous server waits for the slowest honest device.
+		for _, id := range ids {
+			if s.clients[id].fabricatorAt(s.now) != nil {
+				continue
+			}
+			if m := s.finishRel(id, s.now); m > slowestModeled {
+				slowestModeled = m
+			}
 		}
 	}
-	slowestMeasured := s.slowestHonest(ids, measured, s.now)
+	slowestMeasured := s.slowestHonest(include, measured, s.now)
 
-	halt = s.aggregate(t, updates)
+	if len(include) > 0 {
+		halt = s.aggregate(t, updates)
+	} else {
+		// Every update was lost: the model does not move this round.
+		s.lastHonestW, s.lastCorruptW = 0, 0
+	}
 	trainLoss := meanLoss(updates)
 	upBytes, upRatio := s.uplink(updates)
+	if roundDups > 0 {
+		upBytes += s.dupBytes(updates, dup)
+	}
 	s.releaseDeltas(updates)
 	if halt {
 		return true, nil
@@ -271,6 +421,10 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		MeanAlpha:          s.alg.MeanAlpha(),
 		HonestWeight:       s.lastHonestW,
 		CorruptWeight:      s.lastCorruptW,
+		Retries:            roundRetries,
+		DroppedUpdates:     roundDropped,
+		DupUpdates:         roundDups,
+		Degraded:           degraded,
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
@@ -296,62 +450,95 @@ func (s *scheduler) finishRel(id int, now float64) float64 {
 // is abandoned) and retry from the next round's fresh model. When every
 // participant would miss the deadline the server admits the earliest
 // finisher so the round always aggregates at least one update.
-func (s *scheduler) runDeadline() error {
-	for t := 0; t < s.cfg.Rounds; t++ {
-		halt, err := s.deadlineRound(t)
-		if err != nil {
-			return err
-		}
-		if halt {
-			break
-		}
-	}
-	return nil
-}
+func (s *scheduler) runDeadline() error { return s.runRounds(s.deadlineRound) }
 
 // deadlineRound executes one deadline round; halt reports divergence.
+// Under a fault plan each dispatch is fault-resolved first; a dispatch
+// whose retry budget is exhausted counts as a dropped *update* (the
+// client never delivered), while a delivered update past the deadline
+// counts as a dropped *client* (the classic straggler cut).
 func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 	ids, err := s.participants(t)
 	if err != nil {
 		return false, err
 	}
+	faulty := s.plan != nil && s.plan.anyDispatch
 	include := s.include[:0]
+	var dup []bool
+	if faulty {
+		dup = s.dupFlags[:0]
+	}
 	var roundDur float64
 	dropped := 0
+	var roundRetries, roundDropped, roundDups int
 	earliest, earliestRel := -1, math.Inf(1)
+	earliestDup := false
 	for _, id := range ids {
-		rel := s.finishRel(id, s.now)
+		var rel float64
+		isDup := false
+		if faulty {
+			out := s.resolveDispatch(id, s.now)
+			roundRetries += out.retries
+			if !out.delivered {
+				roundDropped++
+				continue
+			}
+			rel, isDup = out.rel, out.dup
+		} else {
+			rel = s.finishRel(id, s.now)
+		}
 		if rel <= s.cfg.RoundDeadlineSec {
 			include = append(include, id)
+			if faulty {
+				dup = append(dup, isDup)
+				if isDup {
+					roundDups++
+				}
+			}
 			if rel > roundDur {
 				roundDur = rel
 			}
 		} else {
 			dropped++
 			if rel < earliestRel {
-				earliest, earliestRel = id, rel
+				earliest, earliestRel, earliestDup = id, rel, isDup
 			}
 		}
 	}
-	if len(include) == 0 {
+	if len(include) == 0 && earliest >= 0 {
 		include = append(include, earliest)
+		if faulty {
+			dup = append(dup, earliestDup)
+			if earliestDup {
+				roundDups++
+			}
+		}
 		dropped--
 		roundDur = earliestRel
-	} else if dropped > 0 {
-		// Stragglers were cut off, so the server waited out the full
-		// deadline before closing the round.
+	} else if dropped > 0 || (faulty && len(include) == 0) {
+		// Stragglers were cut off (or every update was lost), so the
+		// server waited out the full deadline before closing the round.
 		roundDur = s.cfg.RoundDeadlineSec
 	}
 	s.include = include[:0]
+	if faulty {
+		s.dupFlags = dup[:0]
+	}
 
 	updates := s.updates[:len(include)]
 	measured := s.measured[:len(include)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
-
-	halt = s.aggregate(t, updates)
+	if len(include) > 0 {
+		s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
+		halt = s.aggregate(t, updates)
+	} else {
+		s.lastHonestW, s.lastCorruptW = 0, 0
+	}
 	trainLoss := meanLoss(updates)
 	slowestMeasured := s.slowestHonest(include, measured, s.now)
 	upBytes, upRatio := s.uplink(updates)
+	if roundDups > 0 {
+		upBytes += s.dupBytes(updates, dup)
+	}
 	s.releaseDeltas(updates)
 	if halt {
 		return true, nil
@@ -365,6 +552,10 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		HonestWeight:       s.lastHonestW,
 		CorruptWeight:      s.lastCorruptW,
 		DroppedClients:     dropped,
+		Retries:            roundRetries,
+		DroppedUpdates:     roundDropped,
+		DupUpdates:         roundDups,
+		Degraded:           faulty && s.degraded(len(include), len(ids)),
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
@@ -385,6 +576,14 @@ type flight struct {
 	finish   float64
 	version  int
 	live     bool
+	// Fault state (fault.go): failed marks a crashed/lost/timed-out
+	// dispatch — finish is then the server's timeout expiry, the computed
+	// update is discarded (ring entry returned) and the client retried or
+	// rejoined; dup marks a delivery the uplink duplicated; attempt is
+	// the dispatch's 0-based position in its retry chain.
+	failed  bool
+	dup     bool
+	attempt int
 }
 
 // dispatch starts a local round for the given clients at virtual time at:
@@ -397,13 +596,21 @@ func (s *scheduler) dispatch(ids []int, at float64) {
 	measured := s.measured[:len(ids)]
 	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, s.version, at, s.params, s.wPrev, updates, measured)
 	for j, id := range ids {
-		s.pending[id] = flight{
+		f := flight{
 			update:   updates[j],
 			measured: measured[j],
 			finish:   s.env.Devices[id].Availability.NextAvailable(at) + s.finishDur(id),
 			version:  s.version,
 			live:     true,
 		}
+		if s.plan != nil && s.plan.anyDispatch {
+			out := s.resolveAsyncDispatch(id, at)
+			f.finish = out.finish
+			f.failed = out.failed
+			f.dup = out.dup
+			f.attempt = s.attempts[id]
+		}
+		s.pending[id] = f
 	}
 }
 
@@ -430,16 +637,7 @@ func (s *scheduler) runAsync() error {
 	if err := s.setupAsync(); err != nil {
 		return err
 	}
-	for t := 0; t < s.cfg.Rounds; t++ {
-		halt, err := s.asyncStep(t)
-		if err != nil {
-			return err
-		}
-		if halt {
-			break
-		}
-	}
-	return nil
+	return s.runRounds(s.asyncStep)
 }
 
 // asyncStep drains arrivals in virtual-time order (ties broken by client
@@ -464,6 +662,40 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 			// Expelled while in flight: upload discarded, ring entry recycled.
 			s.pool.release(&f.update)
 			continue
+		}
+		if f.failed {
+			// Crash, uplink loss, or timeout: the computed update never
+			// arrives — the delta-ring entry returns to the pool and the
+			// client is re-dispatched after its deterministic backoff
+			// (recomputing against the then-current model), or rejoins
+			// fresh once its retry budget is exhausted.
+			s.pool.release(&f.update)
+			s.failStreak++
+			if s.failStreak > (s.plan.retries+2)*max(64, 8*len(s.clients)) {
+				return false, fmt.Errorf("fl: faults starved the async buffer at step %d (%d consecutive failed dispatches)", t, s.failStreak)
+			}
+			attempt := f.attempt
+			s.oneID[0] = id
+			if attempt < s.plan.retries {
+				s.attempts[id] = attempt + 1
+				s.stepRetries++
+				s.dispatch(s.oneID[:1], s.now+s.plan.backoff(attempt, s.plan.perClient[id].r))
+			} else {
+				s.attempts[id] = 0
+				s.stepDropped++
+				s.dispatch(s.oneID[:1], s.now)
+			}
+			continue
+		}
+		s.failStreak = 0
+		if s.attempts != nil {
+			s.attempts[id] = 0
+		}
+		if f.dup {
+			// Duplicated delivery: the server is idempotent — count it,
+			// charge its bytes, aggregate the update once.
+			s.stepDups++
+			s.stepDupBytes += s.payloadBytes(&f.update)
 		}
 		f.update.Staleness = s.version - f.version
 		s.buffer = append(s.buffer, f.update)
@@ -508,7 +740,10 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		CorruptWeight:      s.lastCorruptW,
 		MeanStaleness:      float64(staleSum) / float64(len(s.buffer)),
 		MaxStaleness:       staleMax,
-		UplinkBytes:        upBytes,
+		Retries:            s.stepRetries,
+		DroppedUpdates:     s.stepDropped,
+		DupUpdates:         s.stepDups,
+		UplinkBytes:        upBytes + s.stepDupBytes,
 		CompressionRatio:   upRatio,
 	}
 	s.recordAccuracy(t, &rec)
@@ -516,6 +751,7 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 	s.lastAgg = s.now
 	s.buffer = s.buffer[:0]
 	s.bufMeasured = 0
+	s.stepRetries, s.stepDropped, s.stepDups, s.stepDupBytes = 0, 0, 0, 0
 	return false, nil
 }
 

@@ -33,6 +33,22 @@ type Round struct {
 	// DroppedClients counts participants dropped past the round deadline
 	// (deadline policy only; 0 otherwise).
 	DroppedClients int
+	// Retries counts fault-triggered re-dispatches this round: timed-out
+	// dispatches (crash, uplink loss, or a latency spike past the timeout
+	// budget) that the server retried. 0 in fault-free runs.
+	Retries int
+	// DroppedUpdates counts dispatches whose retry budget was exhausted —
+	// the client's update never reached this round's aggregate.
+	DroppedUpdates int
+	// DupUpdates counts updates the uplink delivered twice; the server
+	// deduplicates them (charging the duplicate bytes to UplinkBytes) so
+	// each contributes once to the aggregate.
+	DupUpdates int
+	// Degraded marks a round committed below the configured quorum of
+	// delivered updates (including rounds that lost every update and
+	// left the model unchanged). Never silent: the count rolls up via
+	// Run.DegradedRounds.
+	Degraded bool
 	// HonestWeight and CorruptWeight split the aggregation-weight mass
 	// the server granted this round between honest and adversarial
 	// clients (they sum to ~1 when the aggregation rule reports weights;
@@ -58,6 +74,20 @@ type Run struct {
 	// the paper's "×" entries.
 	Diverged      bool
 	DivergedRound int
+	// HaltRound and HaltReason surface why a run stopped before its
+	// configured round budget (for example "diverged: non-finite
+	// parameters" when no checkpoint was available to roll back to).
+	// HaltReason is empty for runs that completed normally.
+	HaltRound  int
+	HaltReason string
+	// RecoveredRounds counts rounds replayed after a simulated server
+	// crash restored the last checkpoint; the replay is bit-identical,
+	// so only time (and this counter) distinguishes a recovered run.
+	RecoveredRounds int
+	// Rollbacks counts divergence recoveries: rounds where non-finite
+	// parameters were rolled back to the last checkpoint instead of
+	// halting the run.
+	Rollbacks int
 }
 
 // Append adds a round record, maintaining cumulative times.
@@ -128,6 +158,44 @@ func (r *Run) TotalDropped() int {
 	total := 0
 	for _, rec := range r.Rounds {
 		total += rec.DroppedClients
+	}
+	return total
+}
+
+// TotalRetries sums the fault-triggered re-dispatches across all rounds.
+func (r *Run) TotalRetries() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.Retries
+	}
+	return total
+}
+
+// TotalDroppedUpdates sums the updates lost to exhausted retry budgets.
+func (r *Run) TotalDroppedUpdates() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.DroppedUpdates
+	}
+	return total
+}
+
+// TotalDupUpdates sums the duplicate deliveries the server deduplicated.
+func (r *Run) TotalDupUpdates() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.DupUpdates
+	}
+	return total
+}
+
+// DegradedRounds counts rounds committed below the delivery quorum.
+func (r *Run) DegradedRounds() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		if rec.Degraded {
+			total++
+		}
 	}
 	return total
 }

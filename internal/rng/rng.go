@@ -17,17 +17,30 @@ import (
 )
 
 // RNG is a deterministic random source with the distribution samplers this
-// repository needs beyond math/rand/v2.
+// repository needs beyond math/rand/v2. It retains its underlying PCG so
+// the stream cursor can be checkpointed (MarshalBinary) and restored
+// (UnmarshalBinary) for bit-identical resume.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG
 }
 
 // New returns an RNG seeded with the given seed.
 func New(seed uint64) *RNG {
 	// The second PCG word is a fixed golden-ratio constant so that nearby
 	// seeds still produce decorrelated streams.
-	return &RNG{src: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+	pcg := rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+	return &RNG{src: rand.New(pcg), pcg: pcg}
 }
+
+// MarshalBinary captures the stream cursor. Every sampler in this package
+// draws statelessly from the underlying source, so the cursor alone is the
+// full RNG state.
+func (r *RNG) MarshalBinary() ([]byte, error) { return r.pcg.MarshalBinary() }
+
+// UnmarshalBinary restores a cursor captured by MarshalBinary; subsequent
+// draws continue the original stream bit-identically.
+func (r *RNG) UnmarshalBinary(data []byte) error { return r.pcg.UnmarshalBinary(data) }
 
 // Derive returns a new independent RNG whose stream is a pure function of
 // this RNG's original seed is NOT used; instead the label alone plus the
