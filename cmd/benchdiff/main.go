@@ -43,7 +43,7 @@ type benchResult struct {
 // sparse vector kernels, and the uplink codecs. Experiment-grade
 // benchmarks (whole training grids) are deliberately not pinned — their
 // runtimes swing with scheduling, not kernel regressions.
-const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity"
+const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity,BenchmarkAggStack"
 
 // gate holds the comparison thresholds.
 type gate struct {

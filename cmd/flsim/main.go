@@ -11,7 +11,8 @@
 //	flsim -dataset fmnist -alg TACO -compress topk -topk 0.01
 //	flsim -dataset adult -alg TACO -fault crash:0.2,slow:0.3:4 -quorum 0.5
 //	flsim -dataset adult -alg TACO -fault servercrash:10 -checkpoint-every 5
-//	flsim -experiment faults
+//	flsim -dataset adult -alg FedAvg -attack scale:0.25:20 -aggstack zeroing|clip -serveropt adam
+//	flsim -experiment fedopt
 package main
 
 import (
@@ -69,6 +70,8 @@ func run() error {
 		attackFrac  = flag.Float64("attack-frac", 0, "fraction of clients corrupted by -attack (0 = the spec's, default 0.25)")
 		attackScale = flag.Float64("attack-scale", 0, "magnitude of -attack (0 = the kind's default)")
 		faultStr    = flag.String("fault", "", "inject faults: comma-separated kind[:frac[:param]], kind one of "+strings.Join(fault.KindNames(), "|"))
+		stackStr    = flag.String("aggstack", "", `robust pre-aggregation stack: "|"-separated kind[:norm] stages, kind one of zeroing|clip (e.g. "zeroing|clip", "clip:5"; no norm = adaptive quantile bound)`)
+		srvOptStr   = flag.String("serveropt", "", "server optimizer: kind[:lr], kind one of fedsgd|adagrad|adam|yogi (default vanilla apply)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint the run every N rounds (0 = off; required for servercrash recovery beyond round 0)")
 		quorum      = flag.Float64("quorum", 0, "sync/deadline: commit a round degraded when fewer than this fraction of dispatched updates arrive (0 = off)")
 		experiment  = flag.String("experiment", "", "run a registered experiment (e.g. robustness), write results/<id>.txt, and exit; ids: "+strings.Join(experiments.IDs(), "|"))
@@ -228,6 +231,12 @@ func run() error {
 		return err
 	}
 	cfg.Faults = faults
+	if cfg.AggStack, err = buildStack(*stackStr); err != nil {
+		return err
+	}
+	if cfg.ServerOpt, err = buildServerOpt(*srvOptStr); err != nil {
+		return err
+	}
 	// Forwarded unconditionally so Config.Validate rejects contradictory
 	// invocations (e.g. -quorum without -fault) instead of dropping them.
 	cfg.CheckpointEvery = *ckptEvery
@@ -252,6 +261,9 @@ func run() error {
 				fmt.Printf("  DEGRADED")
 			}
 		}
+		if !cfg.AggStack.Empty() {
+			fmt.Printf("  zeroed %d  clipped %d", rec.ZeroedUpdates, rec.ClippedUpdates)
+		}
 		fmt.Println()
 		accs[i] = rec.Accuracy
 	}
@@ -268,6 +280,7 @@ func run() error {
 		fmt.Printf("attack %s: mean corrupt weight mass %.3f (head-count share %.3f)\n",
 			spec.Kind, run.MeanCorruptWeight(), float64(len(spec.Members(*clients)))/float64(*clients))
 	}
+	printStackSummary(&cfg, run)
 	printFaultSummary(&cfg, run)
 	if run.Diverged {
 		fmt.Printf("DIVERGED at round %d (the paper's '×' outcome)\n", run.DivergedRound)

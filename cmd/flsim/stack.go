@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/aggstack"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// buildStack turns the -aggstack flag into a stack spec. The flag value
+// uses aggstack.ParseStack syntax: "|"-separated "kind[:norm]" stages
+// ("zeroing|clip", "clip:5"), an omitted norm meaning the TFF adaptive
+// quantile bound. Returns the empty spec when no stack was requested.
+func buildStack(s string) (aggstack.StackSpec, error) {
+	return aggstack.ParseStack(s)
+}
+
+// buildServerOpt turns the -serveropt flag into an optimizer spec, using
+// aggstack.ParseServerOpt syntax: "kind[:lr]" with kind one of
+// fedsgd|adagrad|adam|yogi. Returns the zero (vanilla apply) spec when no
+// optimizer was requested.
+func buildServerOpt(s string) (aggstack.OptSpec, error) {
+	return aggstack.ParseServerOpt(s)
+}
+
+// printStackSummary reports how hard the aggregation stack worked across
+// the run: total suppressed and rescaled updates and the final adaptive
+// clipping bound the run converged to.
+func printStackSummary(cfg *fl.Config, run *metrics.Run) {
+	if cfg.AggStack.Empty() && cfg.ServerOpt.None() {
+		return
+	}
+	if !cfg.AggStack.Empty() {
+		last := 0.0
+		for _, rec := range run.Rounds {
+			if rec.ClipNorm > 0 {
+				last = rec.ClipNorm
+			}
+		}
+		fmt.Printf("aggstack %s: zeroed %d, clipped %d updates", cfg.AggStack, run.TotalZeroedUpdates(), run.TotalClippedUpdates())
+		if last > 0 {
+			fmt.Printf(" (final clip bound %.4g)", last)
+		}
+		fmt.Println()
+	}
+	if !cfg.ServerOpt.None() {
+		fmt.Printf("server optimizer %s\n", cfg.ServerOpt)
+	}
+}

@@ -1,0 +1,45 @@
+package aggstack
+
+import "math"
+
+// QuantileEstimator tracks a target quantile of a norm stream with the
+// TFF-style geometric no-noise update (quantile matching): each round the
+// estimate is multiplied by exp(lr·(target − below)), where below is the
+// fraction of observed norms at or under the current estimate. If too few
+// norms fall below (below < target) the estimate grows, and vice versa;
+// at the fixed point exactly the target fraction falls below. The update
+// is O(n) per round with O(1) state — one float64 — which is what keeps
+// checkpoints small and rounds allocation-free.
+//
+// The round's bound is always the estimate *before* observing that
+// round's norms (threshold-then-observe), so the bound a round applies is
+// a pure function of previous rounds and replays bit-identically.
+type QuantileEstimator struct {
+	// Target is the quantile being matched, in (0, 1).
+	Target float64
+	// LR is the geometric learning rate (> 0).
+	LR float64
+	// Estimate is the current quantile estimate (> 0).
+	Estimate float64
+}
+
+// Observe folds one round of norms into the estimate. Entries whose
+// multiplier is zero (already dropped by an earlier stage) are skipped;
+// pass nil to observe every entry. Empty observations leave the estimate
+// unchanged.
+func (q *QuantileEstimator) Observe(norms, mult []float64) {
+	n, below := 0, 0
+	for i, v := range norms {
+		if mult != nil && mult[i] == 0 {
+			continue
+		}
+		n++
+		if v <= q.Estimate {
+			below++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	q.Estimate *= math.Exp(q.LR * (q.Target - float64(below)/float64(n)))
+}

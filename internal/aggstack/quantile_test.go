@@ -1,0 +1,133 @@
+package aggstack
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// sortQuantile returns the empirical target quantile of xs: the smallest
+// sample value whose ≤-fraction reaches the target.
+func sortQuantile(xs []float64, target float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, v := range s {
+		if float64(i+1)/float64(len(s)) >= target {
+			return v
+		}
+	}
+	return s[len(s)-1]
+}
+
+// fracBelow returns the fraction of xs at or under c.
+func fracBelow(xs []float64, c float64) float64 {
+	below := 0
+	for _, v := range xs {
+		if v <= c {
+			below++
+		}
+	}
+	return float64(below) / float64(len(xs))
+}
+
+// TestQuantileEstimatorConverges: iterating the geometric update on a
+// fixed sample converges to the sort-based quantile, in the sense the
+// fixed-point structure allows. Where the empirical CDF is flat at the
+// target (a gap between order statistics) any point of the gap is a fixed
+// point, so the meaningful invariant is on the CDF: the final estimate's
+// ≤-fraction is within one sample of the target. Where the CDF jumps
+// across the target (heavy ties) no estimate attains the target fraction
+// and the estimator oscillates geometrically around the jump value, so
+// the invariant is on the value: within one e^±lr step of the sort-based
+// quantile. Every input satisfies at least one of the two.
+func TestQuantileEstimatorConverges(t *testing.T) {
+	r := rng.New(7)
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = 1 + 9*r.Float64()
+	}
+	ties := make([]float64, 100)
+	for i := range ties {
+		ties[i] = 5 // adversarial: a single atom carries all the mass
+	}
+	mixed := make([]float64, 100)
+	for i := range mixed {
+		if i < 90 {
+			mixed[i] = 3
+		} else {
+			mixed[i] = 50 + r.Float64()
+		}
+	}
+	spread := make([]float64, 60)
+	for i := range spread {
+		spread[i] = math.Pow(10, -2+4*r.Float64())
+	}
+	twoCluster := make([]float64, 40)
+	for i := range twoCluster {
+		if i%2 == 0 {
+			twoCluster[i] = 1 + 0.01*r.Float64()
+		} else {
+			twoCluster[i] = 1000 + r.Float64()
+		}
+	}
+
+	cases := []struct {
+		name   string
+		xs     []float64
+		target float64
+		lr     float64
+	}{
+		{"uniform-0.8", uniform, 0.8, ClippingLR},
+		{"uniform-0.98", uniform, 0.98, ClippingLR},
+		{"all-ties-0.8", ties, 0.8, ClippingLR},
+		{"mixed-ties-0.8", mixed, 0.8, ClippingLR},
+		{"log-spread-0.5", spread, 0.5, ZeroingLR},
+		{"two-cluster-0.5", twoCluster, 0.5, ClippingLR},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			q := &QuantileEstimator{Target: c.target, LR: c.lr, Estimate: 1}
+			for it := 0; it < 2000; it++ {
+				q.Observe(c.xs, nil)
+			}
+			est := q.Estimate
+			if math.IsNaN(est) || math.IsInf(est, 0) || est <= 0 {
+				t.Fatalf("estimate diverged: %v", est)
+			}
+			wantQ := sortQuantile(c.xs, c.target)
+			fracOK := math.Abs(fracBelow(c.xs, est)-c.target) <= 1.0/float64(len(c.xs))+1e-9
+			valueOK := math.Abs(math.Log(est)-math.Log(wantQ)) <= c.lr+1e-9
+			if !fracOK && !valueOK {
+				t.Fatalf("estimate %v: frac %.3f (target %.3f), sort quantile %v — neither CDF nor value invariant holds",
+					est, fracBelow(c.xs, est), c.target, wantQ)
+			}
+		})
+	}
+}
+
+// TestQuantileEstimatorSkipsDropped: entries with a zero multiplier are
+// invisible to the observation.
+func TestQuantileEstimatorSkipsDropped(t *testing.T) {
+	norms := []float64{1, 2, 1e9, 3}
+	mult := []float64{1, 1, 0, 1}
+	a := &QuantileEstimator{Target: 0.8, LR: 0.2, Estimate: 5}
+	b := &QuantileEstimator{Target: 0.8, LR: 0.2, Estimate: 5}
+	a.Observe(norms, mult)
+	b.Observe([]float64{1, 2, 3}, nil)
+	if a.Estimate != b.Estimate {
+		t.Fatalf("dropped entry leaked into observation: %v vs %v", a.Estimate, b.Estimate)
+	}
+}
+
+// TestQuantileEstimatorEmptyObservation: observing nothing (all dropped,
+// or an empty round) leaves the estimate untouched.
+func TestQuantileEstimatorEmptyObservation(t *testing.T) {
+	q := &QuantileEstimator{Target: 0.8, LR: 0.2, Estimate: 3.5}
+	q.Observe(nil, nil)
+	q.Observe([]float64{9, 9}, []float64{0, 0})
+	if q.Estimate != 3.5 {
+		t.Fatalf("empty observation moved the estimate to %v", q.Estimate)
+	}
+}

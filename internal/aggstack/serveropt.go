@@ -1,0 +1,146 @@
+package aggstack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer is a FedOpt server optimizer (Reddi et al.): it consumes the
+// round's aggregated pseudo-gradient g = w_agg − w_prev and rewrites the
+// model as w ← w_prev + lr·direction(g), maintaining O(d) moment state.
+// With kind fedsgd and lr 1 the rewrite is exactly the identity, which is
+// what pins the wrapped engine to the pre-stack golden trace.
+//
+// Step never allocates once Grow has sized the moment buffers, and the
+// full optimizer state is (step counter, m, v) — captured and restored
+// exactly by State/Restore, so checkpointed runs replay bit-identically.
+type Optimizer struct {
+	kind                  OptKind
+	lr, beta1, beta2, eps float64
+	step                  int
+	m, v                  []float64
+}
+
+// NewOptimizer constructs the optimizer a spec declares, or nil for the
+// zero spec. The spec must validate.
+func NewOptimizer(spec OptSpec) (*Optimizer, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.None() {
+		return nil, nil
+	}
+	return &Optimizer{
+		kind:  spec.Kind,
+		lr:    spec.lr(),
+		beta1: DefaultBeta1,
+		beta2: DefaultBeta2,
+		eps:   DefaultEps,
+	}, nil
+}
+
+// Kind reports the optimizer family.
+func (o *Optimizer) Kind() OptKind { return o.kind }
+
+// LR reports the resolved server learning rate.
+func (o *Optimizer) LR() float64 { return o.lr }
+
+// Grow pre-sizes the moment buffers for d parameters (fedsgd holds no
+// moments). Call once before the first Step; Step then never allocates.
+func (o *Optimizer) Grow(d int) {
+	if o.kind == OptFedSGD {
+		return
+	}
+	if cap(o.m) < d {
+		o.m = make([]float64, d)
+		o.v = make([]float64, d)
+	}
+	o.m = o.m[:d]
+	o.v = o.v[:d]
+}
+
+// Step consumes the aggregated pseudo-gradient g[i] = w[i] − wPrev[i] and
+// rewrites w in place to wPrev + lr·direction(g). wPrev is read-only.
+func (o *Optimizer) Step(wPrev, w []float64) {
+	switch o.kind {
+	case OptFedSGD:
+		if o.lr == 1 {
+			// Exactly the aggregated model: bit-identical to no optimizer.
+			return
+		}
+		for i := range w {
+			w[i] = wPrev[i] + o.lr*(w[i]-wPrev[i])
+		}
+		return
+	case OptAdagrad:
+		o.step++
+		// Adagrad accumulates v without decay; only the first moment is
+		// an EMA and gets bias-corrected.
+		c1 := 1 / (1 - math.Pow(o.beta1, float64(o.step)))
+		for i := range w {
+			g := w[i] - wPrev[i]
+			o.m[i] = o.beta1*o.m[i] + (1-o.beta1)*g
+			o.v[i] += g * g
+			w[i] = wPrev[i] + o.lr*(o.m[i]*c1)/(math.Sqrt(o.v[i])+o.eps)
+		}
+		return
+	case OptAdam:
+		o.step++
+		c1 := 1 / (1 - math.Pow(o.beta1, float64(o.step)))
+		c2 := 1 / (1 - math.Pow(o.beta2, float64(o.step)))
+		for i := range w {
+			g := w[i] - wPrev[i]
+			o.m[i] = o.beta1*o.m[i] + (1-o.beta1)*g
+			o.v[i] = o.beta2*o.v[i] + (1-o.beta2)*g*g
+			w[i] = wPrev[i] + o.lr*(o.m[i]*c1)/(math.Sqrt(o.v[i]*c2)+o.eps)
+		}
+		return
+	case OptYogi:
+		o.step++
+		c1 := 1 / (1 - math.Pow(o.beta1, float64(o.step)))
+		c2 := 1 / (1 - math.Pow(o.beta2, float64(o.step)))
+		for i := range w {
+			g := w[i] - wPrev[i]
+			g2 := g * g
+			o.m[i] = o.beta1*o.m[i] + (1-o.beta1)*g
+			// Yogi's sign-damped second moment: moves v toward g² at a
+			// rate independent of their gap, avoiding Adam's abrupt
+			// adaptivity collapse on sparse pseudo-gradients.
+			o.v[i] -= (1 - o.beta2) * sign(o.v[i]-g2) * g2
+			w[i] = wPrev[i] + o.lr*(o.m[i]*c1)/(math.Sqrt(o.v[i]*c2)+o.eps)
+		}
+		return
+	}
+}
+
+// sign returns ±1 for non-zero x and 0 for x == 0.
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// State exposes the optimizer's full mutable state for checkpointing:
+// the step counter and the (possibly empty, for fedsgd) moment vectors.
+// The slices alias internal storage — copy, don't hold.
+func (o *Optimizer) State() (step int, m, v []float64) { return o.step, o.m, o.v }
+
+// Restore replaces the optimizer state with a checkpointed capture. The
+// moment lengths must match the grown dimension.
+func (o *Optimizer) Restore(step int, m, v []float64) error {
+	if step < 0 {
+		return fmt.Errorf("aggstack: optimizer step %d must be non-negative", step)
+	}
+	if len(m) != len(o.m) || len(v) != len(o.v) {
+		return fmt.Errorf("aggstack: optimizer moments %d/%d do not match dimension %d/%d", len(m), len(v), len(o.m), len(o.v))
+	}
+	o.step = step
+	copy(o.m, m)
+	copy(o.v, v)
+	return nil
+}

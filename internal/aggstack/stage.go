@@ -1,0 +1,209 @@
+package aggstack
+
+// TFF-matched adaptive defaults (tff.aggregators.zeroing_factory /
+// clipping_factory, no-noise quantile estimation): zeroing tracks the
+// 0.98-quantile aggressively (geometric lr ln 10 ≈ 2.3026) and zeroes
+// above 2·estimate + 1 — well clear of the honest norm distribution —
+// while clipping tracks the 0.8-quantile gently (lr 0.2) and clips at the
+// estimate itself.
+const (
+	// ZeroingTarget is the adaptive zeroing stage's matched quantile.
+	ZeroingTarget = 0.98
+	// ZeroingLR is its geometric quantile learning rate (ln 10).
+	ZeroingLR = 2.302585092994046
+	// ZeroingInit is its initial quantile estimate.
+	ZeroingInit = 10.0
+	// ZeroingMultiplier and ZeroingIncrement inflate the quantile
+	// estimate into the zeroing bound: bound = mult·estimate + incr.
+	ZeroingMultiplier = 2.0
+	ZeroingIncrement  = 1.0
+
+	// ClippingTarget is the adaptive clipping stage's matched quantile.
+	ClippingTarget = 0.8
+	// ClippingLR is its geometric quantile learning rate.
+	ClippingLR = 0.2
+	// ClippingInit is its initial quantile estimate (= initial clip norm).
+	ClippingInit = 1.0
+)
+
+// Stage is one pre-aggregation pass over a round's update norms. Apply
+// reads norms[i] (the L2 norm of update i as seen by this stage) and
+// mult[i] (the update's surviving multiplier: 0 = dropped by an earlier
+// stage, 1 = untouched, in (0,1) = rescaled) and writes both for the next
+// stage: zeroing sets mult[i] = 0 and norms[i] = 0, clipping multiplies
+// mult[i] by bound/norms[i] and caps norms[i] at the bound. Entries
+// dropped on entry (mult[i] == 0) are skipped everywhere, including the
+// adaptive quantile observation. Apply returns the number of updates the
+// stage affected this round.
+//
+// Apply never allocates; the only mutable stage state is the adaptive
+// quantile estimate (Estimate/SetEstimate), updated after the round's
+// bound is computed so replays are bit-identical from checkpointed
+// estimates alone.
+type Stage interface {
+	// Kind reports the stage family.
+	Kind() StageKind
+	// Bound returns the norm bound the next Apply will use.
+	Bound() float64
+	// Apply runs the stage over one round's norms and multipliers,
+	// returning the number of updates affected.
+	Apply(norms, mult []float64) int
+	// Estimate returns the adaptive quantile estimate (the fixed bound
+	// for non-adaptive stages) for checkpointing.
+	Estimate() float64
+	// SetEstimate restores a checkpointed estimate (no-op for
+	// non-adaptive stages).
+	SetEstimate(v float64)
+}
+
+// NewStage constructs the stage a spec declares. The spec must validate.
+func NewStage(spec StageSpec) (Stage, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case StageZeroing:
+		z := &Zeroing{Norm: spec.Norm}
+		if spec.Norm == 0 {
+			z.Quantile = &QuantileEstimator{Target: ZeroingTarget, LR: ZeroingLR, Estimate: ZeroingInit}
+		}
+		return z, nil
+	default:
+		c := &Clipping{Norm: spec.Norm}
+		if spec.Norm == 0 {
+			c.Quantile = &QuantileEstimator{Target: ClippingTarget, LR: ClippingLR, Estimate: ClippingInit}
+		}
+		return c, nil
+	}
+}
+
+// NewStages constructs the whole pipeline a stack spec declares.
+func NewStages(spec StackSpec) ([]Stage, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(spec.Stages) == 0 {
+		return nil, nil
+	}
+	stages := make([]Stage, len(spec.Stages))
+	for i, st := range spec.Stages {
+		s, err := NewStage(st)
+		if err != nil {
+			return nil, err
+		}
+		stages[i] = s
+	}
+	return stages, nil
+}
+
+// Zeroing drops every surviving update whose norm exceeds the bound:
+// fixed at Norm, or adaptive 2·q̂ + 1 over the quantile estimate q̂.
+type Zeroing struct {
+	// Norm is the fixed bound (0 when adaptive).
+	Norm float64
+	// Quantile is the adaptive estimator (nil when fixed).
+	Quantile *QuantileEstimator
+}
+
+// Kind implements Stage.
+func (*Zeroing) Kind() StageKind { return StageZeroing }
+
+// Bound implements Stage.
+func (z *Zeroing) Bound() float64 {
+	if z.Quantile == nil {
+		return z.Norm
+	}
+	return ZeroingMultiplier*z.Quantile.Estimate + ZeroingIncrement
+}
+
+// Apply implements Stage.
+func (z *Zeroing) Apply(norms, mult []float64) int {
+	bound := z.Bound()
+	if z.Quantile != nil {
+		// Observe this round's (pre-zeroing) surviving norms after the
+		// bound is fixed: threshold-then-observe.
+		z.Quantile.Observe(norms, mult)
+	}
+	zeroed := 0
+	for i, v := range norms {
+		if mult[i] == 0 {
+			continue
+		}
+		if v > bound {
+			mult[i] = 0
+			norms[i] = 0
+			zeroed++
+		}
+	}
+	return zeroed
+}
+
+// Estimate implements Stage.
+func (z *Zeroing) Estimate() float64 {
+	if z.Quantile == nil {
+		return z.Norm
+	}
+	return z.Quantile.Estimate
+}
+
+// SetEstimate implements Stage.
+func (z *Zeroing) SetEstimate(v float64) {
+	if z.Quantile != nil {
+		z.Quantile.Estimate = v
+	}
+}
+
+// Clipping projects every surviving update onto the L2 ball of radius
+// Bound: fixed at Norm, or the adaptive quantile estimate itself.
+type Clipping struct {
+	// Norm is the fixed bound (0 when adaptive).
+	Norm float64
+	// Quantile is the adaptive estimator (nil when fixed).
+	Quantile *QuantileEstimator
+}
+
+// Kind implements Stage.
+func (*Clipping) Kind() StageKind { return StageClipping }
+
+// Bound implements Stage.
+func (c *Clipping) Bound() float64 {
+	if c.Quantile == nil {
+		return c.Norm
+	}
+	return c.Quantile.Estimate
+}
+
+// Apply implements Stage.
+func (c *Clipping) Apply(norms, mult []float64) int {
+	bound := c.Bound()
+	if c.Quantile != nil {
+		c.Quantile.Observe(norms, mult)
+	}
+	clipped := 0
+	for i, v := range norms {
+		if mult[i] == 0 {
+			continue
+		}
+		if v > bound {
+			mult[i] *= bound / v
+			norms[i] = bound
+			clipped++
+		}
+	}
+	return clipped
+}
+
+// Estimate implements Stage.
+func (c *Clipping) Estimate() float64 {
+	if c.Quantile == nil {
+		return c.Norm
+	}
+	return c.Quantile.Estimate
+}
+
+// SetEstimate implements Stage.
+func (c *Clipping) SetEstimate(v float64) {
+	if c.Quantile != nil {
+		c.Quantile.Estimate = v
+	}
+}

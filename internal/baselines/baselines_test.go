@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/adversary"
+	"repro/internal/aggstack"
 	"repro/internal/dataset"
 	"repro/internal/fl"
 	"repro/internal/nn"
@@ -191,6 +193,54 @@ func TestAllBaselinesLearnAndAreStable(t *testing.T) {
 			}
 			if res.Run.FinalAccuracy() < 0.55 {
 				t.Fatalf("final accuracy %.4f too low", res.Run.FinalAccuracy())
+			}
+		})
+	}
+}
+
+// TestStackComposesOverBaselines pins the aggregation stack's rule
+// agnosticism: zeroing|clip + FedAdam must compose over stateful and
+// defense-bearing inner rules (Scaffold's control variates, FoolsGold's
+// similarity memory) exactly as over FedAvg — the run stays stable under
+// a scaling attacker, the stack visibly engages (clipped updates
+// recorded), and the composed name surfaces both layers.
+func TestStackComposesOverBaselines(t *testing.T) {
+	net, shards, test := setup(t, 6)
+	stack, err := aggstack.ParseStack("zeroing|clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := aggstack.ParseServerOpt("adam:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []func() fl.Algorithm{
+		func() fl.Algorithm { return NewScaffold(1) },
+		func() fl.Algorithm { return NewFoolsGold() },
+	}
+	for _, mk := range algs {
+		bare := mk()
+		t.Run(bare.Name(), func(t *testing.T) {
+			c := cfg()
+			c.AggStack = stack
+			c.ServerOpt = opt
+			c.Adversaries = []adversary.Spec{{Kind: adversary.KindScale, Clients: []int{1}, Scale: 20}}
+			res, err := fl.Run(c, mk(), net, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Run.Diverged {
+				t.Fatal("stacked run diverged under the scaling attack")
+			}
+			if !vecmath.AllFinite(res.FinalParams) {
+				t.Fatal("non-finite parameters")
+			}
+			want := bare.Name() + "+zeroing|clip+adam:0.1"
+			if res.Run.Algorithm != want {
+				t.Fatalf("composed name = %q, want %q", res.Run.Algorithm, want)
+			}
+			if res.Run.TotalClippedUpdates() == 0 && res.Run.TotalZeroedUpdates() == 0 {
+				t.Fatal("stack never engaged: no update was zeroed or clipped")
 			}
 		})
 	}

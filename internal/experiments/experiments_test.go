@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"compression", "faults", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"compression", "faults", "fedopt", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}
@@ -227,6 +227,36 @@ func TestFaultsArtifact(t *testing.T) {
 		if strings.Count(s, cond.name) < 3 {
 			t.Fatalf("condition %s missing rows:\n%s", cond.name, s)
 		}
+	}
+}
+
+// TestFedOptArtifact runs the stack × optimizer × rule grid end to end
+// at bench scale and checks the rendered shape: every attack and server
+// configuration column, the weight-mass cells, and the stack-engagement
+// tallies.
+func TestFedOptArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the fedopt grid")
+	}
+	r := NewRunner(ScaleBench)
+	tbl, err := FedOpt(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.String()
+	for _, atk := range fedoptAttacks() {
+		if !strings.Contains(s, atk.name) {
+			t.Fatalf("fedopt render missing attack %q:\n%s", atk.name, s)
+		}
+	}
+	for _, frag := range []string{"FedAvg", "Scaffold", "TACO", "bare", "+zeroing|clip", "+stack+adam", "zeroed/clipped", "|0."} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("fedopt render missing %q:\n%s", frag, s)
+		}
+	}
+	// Every (attack, alg) row carries the stacked run's engagement tally.
+	if strings.Count(s, "/") < len(fedoptAttacks())*len(fedoptAlgs()) {
+		t.Fatalf("fedopt render missing engagement tallies:\n%s", s)
 	}
 }
 

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/aggstack"
+	"repro/internal/fl"
+	"repro/internal/report"
+)
+
+// fedoptAlgs are the inner aggregation rules the server-side stack is
+// composed over: the undefended baseline, the variance-reduced method,
+// and TACO's tailored α-weights.
+func fedoptAlgs() []string { return []string{"FedAvg", "Scaffold", "TACO"} }
+
+// fedoptServerConfig is one server-side column of the grid: a robust
+// pre-aggregation stack and a FedOpt optimizer composed around the rule.
+type fedoptServerConfig struct {
+	name  string
+	stack string
+	opt   string
+}
+
+// fedoptServerConfigs builds the column grid: the bare rule, the TFF
+// adaptive zeroing+clipping stack, and the stack with FedAdam on top.
+func fedoptServerConfigs() []fedoptServerConfig {
+	return []fedoptServerConfig{
+		{name: "bare"},
+		{name: "+zeroing|clip", stack: "zeroing|clip"},
+		{name: "+stack+adam", stack: "zeroing|clip", opt: "adam:0.1"},
+	}
+}
+
+// fedoptAttacks is the update-level attack grid the stack defends
+// against, plus the clean baseline: the stack acts on update geometry
+// (norms), so the magnitude attacks (scale, deltanoise) are its home
+// turf and signflip probes that it does not harm direction-only attacks.
+func fedoptAttacks() []robustnessAttack {
+	return []robustnessAttack{
+		{name: "clean"},
+		{name: "signflip", spec: &adversary.Spec{Kind: adversary.KindSignFlip, Frac: 0.3}},
+		{name: "scale", spec: &adversary.Spec{Kind: adversary.KindScale, Frac: 0.3, Scale: 5}},
+		{name: "deltanoise", spec: &adversary.Spec{Kind: adversary.KindDeltaNoise, Frac: 0.3, Scale: 2}},
+	}
+}
+
+// FedOpt is the composable-aggregation scenario study: the attack grid ×
+// inner rules × server-side configurations (bare, stacked, stacked with
+// FedAdam), reporting each cell's final accuracy, the weight mass the
+// composed pipeline granted the corrupt camp, and how hard the stack
+// worked (zeroed/clipped update totals for the stacked+adam column).
+func FedOpt(r *Runner) (*report.Table, error) {
+	cfgs := fedoptServerConfigs()
+	t := &report.Table{Title: "FedOpt: robust-aggregation stack × server optimizer × inner rule (final accuracy | corrupt weight mass)"}
+	t.Columns = []string{"Attack", "Data", "Alg"}
+	for _, sc := range cfgs {
+		t.Columns = append(t.Columns, sc.name)
+	}
+	t.Columns = append(t.Columns, "zeroed/clipped")
+
+	for _, atk := range fedoptAttacks() {
+		for _, ds := range robustnessDatasets(r.Scale) {
+			for _, algName := range fedoptAlgs() {
+				row := []string{atk.name, ds, algName}
+				var engaged string
+				for _, sc := range cfgs {
+					stack, err := aggstack.ParseStack(sc.stack)
+					if err != nil {
+						return nil, err
+					}
+					opt, err := aggstack.ParseServerOpt(sc.opt)
+					if err != nil {
+						return nil, err
+					}
+					key := fmt.Sprintf("fedopt/%s/%s/%s/%s", atk.name, ds, algName, sc.name)
+					res, err := r.RunOne(key, ds, algName, func(cfg *fl.Config, alg fl.Algorithm) {
+						cfg.Rounds = robustnessRounds(r.Scale)
+						cfg.AggStack = stack
+						cfg.ServerOpt = opt
+						if atk.spec != nil {
+							cfg.Adversaries = []adversary.Spec{*atk.spec}
+						}
+					})
+					if err != nil {
+						return nil, err
+					}
+					run := res.Run
+					cell := "×"
+					if !run.Diverged {
+						cell = report.Pct(run.FinalAccuracy())
+						if atk.spec != nil {
+							cell += fmt.Sprintf(" |%.2f", run.MeanCorruptWeight())
+						}
+					}
+					row = append(row, cell)
+					if sc.opt != "" {
+						engaged = fmt.Sprintf("%d/%d", run.TotalZeroedUpdates(), run.TotalClippedUpdates())
+					}
+				}
+				t.AddRow(append(row, engaged)...)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"cell: final accuracy | mean per-round aggregation-weight mass granted the corrupt",
+		"camp (head-count share 0.30). Columns compose the same inner rule with the TFF",
+		"adaptive zeroing+clipping stack and FedAdam (lr 0.1). Expected shape: the stack",
+		"suppresses the magnitude attacks (scale, deltanoise) for every inner rule — corrupt",
+		"mass drops below the head-count share as oversized updates are zeroed or clipped",
+		"— while leaving the clean column close to bare. zeroed/clipped: totals for the",
+		"stacked+adam run.")
+	return t, nil
+}

@@ -42,6 +42,7 @@ var registry = map[string]Runnable{
 	"robustness":  func(r *Runner) ([]Artifact, error) { return one(Robustness(r)) },
 	"compression": func(r *Runner) ([]Artifact, error) { return one(Compression(r)) },
 	"faults":      func(r *Runner) ([]Artifact, error) { return one(Faults(r)) },
+	"fedopt":      func(r *Runner) ([]Artifact, error) { return one(FedOpt(r)) },
 }
 
 func one[T Artifact](t T, err error) ([]Artifact, error) {

@@ -29,7 +29,10 @@ import (
 //     cursors, so the replay draws fresh batches instead of marching
 //     deterministically into the same blow-up.
 
-var runCkptMagic = [8]byte{'F', 'L', 'C', 'K', 'P', 'T', '0', '1'}
+// Format 02 added the aggregation-stack fields to the per-round record
+// (ZeroedUpdates/ClippedUpdates/ClipNorm); 01 blobs are rejected by the
+// magic check rather than silently misparsed.
+var runCkptMagic = [8]byte{'F', 'L', 'C', 'K', 'P', 'T', '0', '2'}
 
 // StatefulAlgorithm is implemented by algorithms that carry cross-round
 // state a checkpoint must capture — control variates (Scaffold), client
@@ -581,6 +584,9 @@ func writeRound(w io.Writer, rec *metrics.Round) {
 	ckpt.WriteInt(w, rec.DroppedUpdates)
 	ckpt.WriteInt(w, rec.DupUpdates)
 	ckpt.WriteBool(w, rec.Degraded)
+	ckpt.WriteInt(w, rec.ZeroedUpdates)
+	ckpt.WriteInt(w, rec.ClippedUpdates)
+	ckpt.WriteF64(w, rec.ClipNorm)
 	ckpt.WriteF64(w, rec.HonestWeight)
 	ckpt.WriteF64(w, rec.CorruptWeight)
 	ckpt.WriteU64(w, uint64(rec.UplinkBytes))
@@ -616,6 +622,9 @@ func readRound(r io.Reader, rec *metrics.Round) error {
 	if err == nil {
 		rec.Degraded, err = ckpt.ReadBool(r)
 	}
+	readi(&rec.ZeroedUpdates)
+	readi(&rec.ClippedUpdates)
+	read(&rec.ClipNorm)
 	read(&rec.HonestWeight)
 	read(&rec.CorruptWeight)
 	if err == nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/aggstack"
 	"repro/internal/baselines"
 	"repro/internal/compress"
 	"repro/internal/core"
@@ -133,6 +134,55 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 					t.Fatalf("clean resume reported recovery: %d recovered, %d rollbacks",
 						got.Run.RecoveredRounds, got.Run.Rollbacks)
 				}
+			})
+		}
+	}
+}
+
+// TestCheckpointResumeStacked pins the stacked wrapper's state delegation
+// over stateful inner rules: the checkpoint must capture the stage
+// quantile estimates and optimizer moments AND the inner algorithm's own
+// state (TACO's tracker/correction/z, Scaffold's control variates), and a
+// resume must replay bit-identically — including the new per-round
+// zeroed/clipped counters, which ride the round records through the
+// checkpoint.
+func TestCheckpointResumeStacked(t *testing.T) {
+	net, shards, test := testSetup(t, 8)
+	stack, err := aggstack.ParseStack("zeroing|clip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := aggstack.ParseServerOpt("yogi:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := map[string]func() fl.Algorithm{
+		"taco":     func() fl.Algorithm { return core.New(core.Recommended()) },
+		"scaffold": func() fl.Algorithm { return baselines.NewScaffold(1) },
+	}
+	for _, policy := range []fl.AggregationPolicy{fl.PolicySync, fl.PolicyAsync} {
+		for name, alg := range algs {
+			t.Run(fmt.Sprintf("%v-%s", policy, name), func(t *testing.T) {
+				cfg := faultedConfig(t, policy, 11, net)
+				cfg.AggStack = stack
+				cfg.ServerOpt = opt
+				cap := &ckptCapture{}
+				cfg.OnCheckpoint = cap.hook()
+				want, err := fl.Run(cfg, alg(), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob := cap.at(3)
+				if blob == nil {
+					t.Fatalf("no checkpoint at round 3 (captured %v)", cap.rounds)
+				}
+				cfg.OnCheckpoint = nil
+				got, err := fl.Resume(cfg, alg(), net, shards, test, blob)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameParams(t, want.FinalParams, got.FinalParams)
+				sameRounds(t, want.Run.Rounds, got.Run.Rounds)
 			})
 		}
 	}
@@ -337,6 +387,7 @@ func FuzzCheckpointRestore(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("FLCKPT01 but then garbage follows the magic bytes here"))
+	f.Add([]byte("FLCKPT02 but then garbage follows the magic bytes here"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = fl.Resume(cfg, baselines.NewFedAvg(), net, shards, test, data)

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/adversary"
+	"repro/internal/aggstack"
 	"repro/internal/compress"
 	"repro/internal/fault"
 	"repro/internal/simclock"
@@ -162,6 +163,17 @@ type Config struct {
 	// never silent). 0 disables the check. Sync and deadline policies
 	// only, and only meaningful with Faults.
 	Quorum float64
+	// AggStack declares the composable robust pre-aggregation pipeline
+	// (DESIGN.md §9): zeroing and clipping stages, fixed-bound or
+	// quantile-matched adaptive, applied to every round's updates before
+	// the algorithm's aggregation rule sees them. The zero value is the
+	// identity, bit-identical to the pre-stack engine.
+	AggStack aggstack.StackSpec
+	// ServerOpt selects the FedOpt server optimizer applied to the
+	// aggregated pseudo-gradient (fedsgd/adagrad/adam/yogi). The zero
+	// value applies none; fedsgd with LR 1 runs the machinery but is
+	// bit-identical to none (golden-pinned).
+	ServerOpt aggstack.OptSpec
 	// CheckpointEvery serializes the full run state (model, per-client
 	// algorithm state, EF residuals, rng cursors, async in-flight work)
 	// every this many rounds; resume from any checkpoint is bit-identical
@@ -263,6 +275,12 @@ func (c Config) Validate() error {
 		if crashes > 1 {
 			return fmt.Errorf("fl: at most one servercrash fault per run")
 		}
+	}
+	if err := c.AggStack.Validate(); err != nil {
+		return fmt.Errorf("fl: %w", err)
+	}
+	if err := c.ServerOpt.Validate(); err != nil {
+		return fmt.Errorf("fl: %w", err)
 	}
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("fl: CheckpointEvery %d must be non-negative", c.CheckpointEvery)

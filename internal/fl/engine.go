@@ -136,6 +136,13 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		Devices:    cfg.devices(n),
 		Cfg:        cfg,
 	}
+	// Compose the robust-aggregation stack and server optimizer around
+	// the algorithm (stack.go); a zero-valued AggStack/ServerOpt returns
+	// alg unchanged, keeping the unstacked path untouched.
+	alg, err := wrapStack(alg, &cfg)
+	if err != nil {
+		return nil, err
+	}
 	alg.Setup(env)
 
 	active := make([]bool, n)
@@ -201,6 +208,7 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		updates:   make([]Update, n),
 		measured:  make([]float64, n),
 	}
+	s.stack, _ = alg.(*stackedAlg)
 	if plan != nil && plan.anyDispatch {
 		s.dupFlags = make([]bool, 0, n)
 		if cfg.Policy == PolicyAsync {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/adversary"
+	"repro/internal/aggstack"
 	"repro/internal/dataset"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -222,6 +223,13 @@ func TestSyncPolicyMatchesPreSchedulerEngine(t *testing.T) {
 		// Periodic checkpointing is pure observation: snapshots must not
 		// perturb a single draw or byte of the training trajectory.
 		{"fedavg-checkpointing", func() Algorithm { return goldenFedAvg{} }, func(c *Config) { c.CheckpointEvery = 2 }},
+		// A unit-LR FedSGD server optimizer wraps the rule in the stack
+		// shim but is algebraically the vanilla apply: the wrapped run must
+		// reproduce the reference loop (which predates the stack and never
+		// wraps) bit-identically.
+		{"fedavg-fedsgd-identity", func() Algorithm { return goldenFedAvg{} }, func(c *Config) {
+			c.ServerOpt = aggstack.OptSpec{Kind: aggstack.OptFedSGD, LR: 1}
+		}},
 		// A server crash restores the last checkpoint with its rng
 		// cursors; the replayed rounds are bit-identical, so the whole
 		// run still matches the crash-free reference.

@@ -68,6 +68,7 @@ func TestSteadyStateAllocs(t *testing.T) {
 		compress compress.Spec
 		faults   []fault.Spec
 		quorum   float64
+		stacked  bool
 	}{
 		{name: "", adv: false},
 		{name: "-injectors", adv: true},
@@ -75,6 +76,13 @@ func TestSteadyStateAllocs(t *testing.T) {
 		{name: "-int8", compress: compress.Spec{Kind: compress.KindInt8, Chunk: 256}},
 		{name: "-faults", faults: faultMix, quorum: 0.5},
 		{name: "-faults-int8", faults: faultMix, compress: compress.Spec{Kind: compress.KindInt8, Chunk: 256}},
+		// The full aggregation stack (zeroing|clip + FedAdam) rides the
+		// same contract: stage scratch, survivor lists, weight re-map
+		// buffers, and optimizer moments are all sized at Setup.
+		{name: "-stack", stacked: true},
+		// Stack + injectors exercises the weight re-map path with the
+		// honest/corrupt mass accounting live every round.
+		{name: "-stack-injectors", stacked: true, adv: true},
 	}
 	for _, v := range variants {
 		for _, policy := range []AggregationPolicy{PolicySync, PolicyDeadline, PolicyAsync} {
@@ -92,6 +100,10 @@ func TestSteadyStateAllocs(t *testing.T) {
 				}
 				if v.adv {
 					cfg.Adversaries = injectors
+				}
+				if v.stacked {
+					cfg.AggStack = mustStack(t, "zeroing|clip")
+					cfg.ServerOpt = mustOpt(t, "adam:0.1")
 				}
 				if v.faults != nil {
 					cfg.Faults = v.faults

@@ -61,6 +61,11 @@ type scheduler struct {
 	// now is the virtual clock (modeled seconds since the run started).
 	now float64
 
+	// stack is the aggregation-stack wrapper when the config declares one
+	// (nil otherwise); the round records read its per-round zeroed/
+	// clipped statistics through it.
+	stack *stackedAlg
+
 	// Adversary bookkeeping (adversary.go): anyAdv flags a run with at
 	// least one corrupt client; cumWeights accumulates each client's
 	// reported aggregation weight; lastHonestW/lastCorruptW hold the
@@ -181,6 +186,23 @@ func (s *scheduler) recordWeightMass(updates []Update) {
 			s.lastHonestW += w
 		}
 		s.cumWeights[u.Client] += w
+	}
+}
+
+// stackStats returns the last aggregation's stage statistics (all zero
+// without a stack).
+func (s *scheduler) stackStats() (zeroed, clipped int, clipNorm float64) {
+	if s.stack == nil {
+		return 0, 0, 0
+	}
+	return s.stack.stackStats()
+}
+
+// clearStackStats resets the stage statistics for rounds that never
+// aggregated (alongside the honest/corrupt weight reset).
+func (s *scheduler) clearStackStats() {
+	if s.stack != nil {
+		s.stack.clearStackStats()
 	}
 }
 
@@ -403,6 +425,7 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 	} else {
 		// Every update was lost: the model does not move this round.
 		s.lastHonestW, s.lastCorruptW = 0, 0
+		s.clearStackStats()
 	}
 	trainLoss := meanLoss(updates)
 	upBytes, upRatio := s.uplink(updates)
@@ -413,6 +436,7 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 	if halt {
 		return true, nil
 	}
+	zeroed, clipped, clipNorm := s.stackStats()
 	rec := metrics.Round{
 		Index:              t,
 		TrainLoss:          trainLoss,
@@ -425,6 +449,9 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		DroppedUpdates:     roundDropped,
 		DupUpdates:         roundDups,
 		Degraded:           degraded,
+		ZeroedUpdates:      zeroed,
+		ClippedUpdates:     clipped,
+		ClipNorm:           clipNorm,
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
@@ -532,6 +559,7 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		halt = s.aggregate(t, updates)
 	} else {
 		s.lastHonestW, s.lastCorruptW = 0, 0
+		s.clearStackStats()
 	}
 	trainLoss := meanLoss(updates)
 	slowestMeasured := s.slowestHonest(include, measured, s.now)
@@ -543,6 +571,7 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 	if halt {
 		return true, nil
 	}
+	zeroed, clipped, clipNorm := s.stackStats()
 	rec := metrics.Round{
 		Index:              t,
 		TrainLoss:          trainLoss,
@@ -556,6 +585,9 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		DroppedUpdates:     roundDropped,
 		DupUpdates:         roundDups,
 		Degraded:           faulty && s.degraded(len(include), len(ids)),
+		ZeroedUpdates:      zeroed,
+		ClippedUpdates:     clipped,
+		ClipNorm:           clipNorm,
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
@@ -730,6 +762,7 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		s.oneID[0] = trigger
 		s.dispatch(s.oneID[:1], s.now)
 	}
+	zeroed, clipped, clipNorm := s.stackStats()
 	rec := metrics.Round{
 		Index:              t,
 		TrainLoss:          trainLoss,
@@ -743,6 +776,9 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		Retries:            s.stepRetries,
 		DroppedUpdates:     s.stepDropped,
 		DupUpdates:         s.stepDups,
+		ZeroedUpdates:      zeroed,
+		ClippedUpdates:     clipped,
+		ClipNorm:           clipNorm,
 		UplinkBytes:        upBytes + s.stepDupBytes,
 		CompressionRatio:   upRatio,
 	}

@@ -1,0 +1,328 @@
+package fl
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/aggstack"
+	"repro/internal/ckpt"
+	"repro/internal/simclock"
+	"repro/internal/vecmath"
+)
+
+// stackedAlg composes the robust pre-aggregation pipeline and the FedOpt
+// server optimizer (Config.AggStack / Config.ServerOpt, DESIGN.md §9)
+// around any inner aggregation rule. Per round it
+//
+//  1. computes every update's L2 norm (the payload-aware Update.Norm, so
+//     a sparse round stays O(n·k)),
+//  2. runs the stage pipeline over (norms, multipliers) — zeroing drops
+//     updates, clipping rescales them in place (both the dense delta and
+//     the sparse payload values, keeping the two views consistent),
+//  3. hands only the surviving updates to the inner rule,
+//  4. re-maps the inner rule's reported weights back to the full update
+//     list (dropped updates get weight 0) so HonestWeight/CorruptWeight
+//     credit the stack's suppressions, and
+//  5. lets the server optimizer rewrite w ← wPrev + lr·dir(w − wPrev).
+//
+// All scratch (norms, multipliers, survivor list, weight remap buffers,
+// optimizer moments) is sized once in Setup, so wrapped steady-state
+// rounds still allocate nothing. The wrapper is always a
+// StatefulAlgorithm: checkpoints capture the stage quantile estimates,
+// the optimizer moments, and the inner algorithm's own state.
+type stackedAlg struct {
+	inner    Algorithm
+	innerSA  StatefulAlgorithm // nil when the inner rule is stateless
+	stages   []aggstack.Stage
+	opt      *aggstack.Optimizer
+	name     string
+	weighted bool
+
+	// Per-round scratch, sized in Setup.
+	norms, mult []float64
+	keptIdx     []int
+	kept        []Update
+	keptW       []float64
+	fullW       []float64
+
+	// Per-round stage statistics, read by the scheduler into the round
+	// record (metrics.Round.ZeroedUpdates/ClippedUpdates/ClipNorm).
+	lastZeroed   int
+	lastClipped  int
+	lastClipNorm float64
+}
+
+// wrapStack composes alg with the config's aggregation stack and server
+// optimizer, returning alg unchanged when both are zero-valued — the
+// wrap itself must never perturb an unstacked run.
+func wrapStack(alg Algorithm, cfg *Config) (Algorithm, error) {
+	if cfg.AggStack.Empty() && cfg.ServerOpt.None() {
+		return alg, nil
+	}
+	stages, err := aggstack.NewStages(cfg.AggStack)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	opt, err := aggstack.NewOptimizer(cfg.ServerOpt)
+	if err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	name := alg.Name()
+	if !cfg.AggStack.Empty() {
+		name += "+" + cfg.AggStack.String()
+	}
+	if !cfg.ServerOpt.None() {
+		name += "+" + cfg.ServerOpt.String()
+	}
+	sa, _ := alg.(StatefulAlgorithm)
+	return &stackedAlg{
+		inner:    alg,
+		innerSA:  sa,
+		stages:   stages,
+		opt:      opt,
+		name:     name,
+		weighted: cfg.WeightByData,
+	}, nil
+}
+
+// Name implements Algorithm: the inner rule's name decorated with the
+// stack and optimizer specs (e.g. "FedAvg+zeroing|clip+adam").
+func (a *stackedAlg) Name() string { return a.name }
+
+// Setup implements Algorithm, sizing every per-round scratch buffer so
+// Aggregate never allocates.
+func (a *stackedAlg) Setup(env *Env) {
+	a.inner.Setup(env)
+	n := env.NumClients
+	a.norms = make([]float64, n)
+	a.mult = make([]float64, n)
+	a.keptIdx = make([]int, 0, n)
+	a.kept = make([]Update, 0, n)
+	a.keptW = make([]float64, n)
+	a.fullW = make([]float64, n)
+	if a.opt != nil {
+		a.opt.Grow(env.NumParams)
+	}
+}
+
+// LocalInit implements Algorithm by delegation.
+func (a *stackedAlg) LocalInit(client, round int, w []float64, out []float64) {
+	a.inner.LocalInit(client, round, w, out)
+}
+
+// BeginLocal implements Algorithm by delegation.
+func (a *stackedAlg) BeginLocal(client, round int, w0 []float64) {
+	a.inner.BeginLocal(client, round, w0)
+}
+
+// GradAdjust implements Algorithm by delegation.
+func (a *stackedAlg) GradAdjust(ctx *StepCtx) { a.inner.GradAdjust(ctx) }
+
+// EndLocal implements Algorithm by delegation.
+func (a *stackedAlg) EndLocal(client, round int, delta []float64) {
+	a.inner.EndLocal(client, round, delta)
+}
+
+// Costs implements Algorithm by delegation.
+func (a *stackedAlg) Costs() simclock.Costs { return a.inner.Costs() }
+
+// FinalModel implements Algorithm by delegation.
+func (a *stackedAlg) FinalModel(w []float64) []float64 { return a.inner.FinalModel(w) }
+
+// MeanAlpha implements Algorithm by delegation.
+func (a *stackedAlg) MeanAlpha() float64 { return a.inner.MeanAlpha() }
+
+// Aggregate implements Algorithm: stages → inner rule → weight re-map →
+// server optimizer.
+func (a *stackedAlg) Aggregate(s *ServerCtx, updates []Update) {
+	a.lastZeroed, a.lastClipped, a.lastClipNorm = 0, 0, 0
+	kept := updates
+	if len(a.stages) > 0 {
+		kept = a.applyStages(updates)
+	}
+	if len(kept) > 0 {
+		a.inner.Aggregate(s, kept)
+	}
+	if len(a.stages) > 0 {
+		a.reportFull(s, updates, kept)
+	}
+	if a.opt != nil && len(kept) > 0 {
+		// A round that lost every update to zeroing moves nothing: the
+		// optimizer consumes aggregated pseudo-gradients, not silence.
+		a.opt.Step(s.WPrev, s.W)
+	}
+}
+
+// applyStages runs the stage pipeline over the round's update norms and
+// applies the resulting multipliers: dropped updates are compacted out of
+// the survivor list (the inner rule never sees them), rescaled updates
+// are scaled in place.
+func (a *stackedAlg) applyStages(updates []Update) []Update {
+	n := len(updates)
+	norms := a.norms[:n]
+	mult := a.mult[:n]
+	for i := range updates {
+		norms[i] = updates[i].Norm()
+		mult[i] = 1
+	}
+	for _, st := range a.stages {
+		bound := st.Bound()
+		affected := st.Apply(norms, mult)
+		switch st.Kind() {
+		case aggstack.StageZeroing:
+			a.lastZeroed += affected
+		case aggstack.StageClipping:
+			a.lastClipped += affected
+			a.lastClipNorm = bound
+		}
+	}
+	a.kept = a.kept[:0]
+	a.keptIdx = a.keptIdx[:0]
+	for i := range updates {
+		m := mult[i]
+		if m == 0 {
+			continue
+		}
+		if m != 1 {
+			scaleUpdate(&updates[i], m)
+		}
+		a.kept = append(a.kept, updates[i])
+		a.keptIdx = append(a.keptIdx, i)
+	}
+	return a.kept
+}
+
+// scaleUpdate rescales an update in place, keeping the dense delta and
+// any encoded payload view consistent. Sparse payloads scale in O(k):
+// the dense view's dropped coordinates are exact zeros, which rescale to
+// exact zeros for free.
+func scaleUpdate(u *Update, m float64) {
+	if p := u.Payload; p != nil && p.Sparse() {
+		for j, idx := range p.Idx {
+			p.Val[j] *= m
+			u.Delta[idx] *= m
+		}
+		return
+	}
+	vecmath.Scale(m, u.Delta)
+}
+
+// reportFull re-maps the round's reported aggregation weights from the
+// survivor list back to the full update list, giving dropped updates
+// weight 0 — so the engine's honest-vs-corrupt weight-mass metrics see
+// the stack's suppressions instead of being skipped on a length mismatch
+// (scheduler.recordWeightMass). When the inner rule reported nothing
+// (every rule shipped here reports through ServerCtx.AggregationWeights,
+// but the hook set does not force it) the stack synthesizes the Eq. (6)
+// weights over the survivors, which is what a report-free rule aggregates
+// with.
+func (a *stackedAlg) reportFull(s *ServerCtx, updates, kept []Update) {
+	kw := a.keptW[:len(kept)]
+	switch {
+	case len(kept) == 0:
+	case len(s.reported) == len(kept):
+		copy(kw, s.reported)
+	default:
+		aggregationWeightsInto(kw, kept, a.weighted)
+	}
+	full := a.fullW[:len(updates)]
+	vecmath.Zero(full)
+	for j, idx := range a.keptIdx {
+		full[idx] = kw[j]
+	}
+	s.ReportWeights(full)
+}
+
+// stackStats returns the last aggregation's stage statistics.
+func (a *stackedAlg) stackStats() (zeroed, clipped int, clipNorm float64) {
+	return a.lastZeroed, a.lastClipped, a.lastClipNorm
+}
+
+// clearStackStats resets the stage statistics for a round that never
+// reached Aggregate (every update lost in transit).
+func (a *stackedAlg) clearStackStats() {
+	a.lastZeroed, a.lastClipped, a.lastClipNorm = 0, 0, 0
+}
+
+// SaveState implements StatefulAlgorithm: the stage quantile estimates,
+// the optimizer state, and the inner algorithm's own state when it has
+// any. The wrapper is stateful even over a stateless inner rule — the
+// adaptive bounds and moments must survive a checkpoint bit-identically.
+func (a *stackedAlg) SaveState(w io.Writer) error {
+	ckpt.WriteInt(w, len(a.stages))
+	for _, st := range a.stages {
+		ckpt.WriteF64(w, st.Estimate())
+	}
+	ckpt.WriteBool(w, a.opt != nil)
+	if a.opt != nil {
+		step, m, v := a.opt.State()
+		ckpt.WriteInt(w, step)
+		if err := ckpt.WriteF64s(w, m); err != nil {
+			return err
+		}
+		if err := ckpt.WriteF64s(w, v); err != nil {
+			return err
+		}
+	}
+	ckpt.WriteBool(w, a.innerSA != nil)
+	if a.innerSA != nil {
+		return a.innerSA.SaveState(w)
+	}
+	return nil
+}
+
+// LoadState implements StatefulAlgorithm.
+func (a *stackedAlg) LoadState(r io.Reader) error {
+	nStages, err := ckpt.ReadInt(r)
+	if err != nil {
+		return err
+	}
+	if nStages != len(a.stages) {
+		return fmt.Errorf("stack: %d stage estimates for %d stages", nStages, len(a.stages))
+	}
+	for _, st := range a.stages {
+		est, err := ckpt.ReadF64(r)
+		if err != nil {
+			return err
+		}
+		if est <= 0 {
+			return fmt.Errorf("stack: non-positive stage estimate %v", est)
+		}
+		st.SetEstimate(est)
+	}
+	hasOpt, err := ckpt.ReadBool(r)
+	if err != nil {
+		return err
+	}
+	if hasOpt != (a.opt != nil) {
+		return fmt.Errorf("stack: optimizer presence mismatch")
+	}
+	if a.opt != nil {
+		step, err := ckpt.ReadInt(r)
+		if err != nil {
+			return err
+		}
+		m, err := ckpt.ReadF64s(r)
+		if err != nil {
+			return err
+		}
+		v, err := ckpt.ReadF64s(r)
+		if err != nil {
+			return err
+		}
+		if err := a.opt.Restore(step, m, v); err != nil {
+			return err
+		}
+	}
+	hasInner, err := ckpt.ReadBool(r)
+	if err != nil {
+		return err
+	}
+	if hasInner != (a.innerSA != nil) {
+		return fmt.Errorf("stack: inner-state presence mismatch")
+	}
+	if a.innerSA != nil {
+		return a.innerSA.LoadState(r)
+	}
+	return nil
+}

@@ -49,6 +49,16 @@ type Round struct {
 	// left the model unchanged). Never silent: the count rolls up via
 	// Run.DegradedRounds.
 	Degraded bool
+	// ZeroedUpdates and ClippedUpdates count what the robust-aggregation
+	// stack did this round: updates dropped for exceeding the zeroing
+	// bound, and updates rescaled onto the clip ball. Both are 0 without
+	// a stack.
+	ZeroedUpdates  int
+	ClippedUpdates int
+	// ClipNorm is the clip bound the stack applied this round (the
+	// adaptive quantile-matched estimate, or the fixed bound); 0 when no
+	// clip stage ran.
+	ClipNorm float64
 	// HonestWeight and CorruptWeight split the aggregation-weight mass
 	// the server granted this round between honest and adversarial
 	// clients (they sum to ~1 when the aggregation rule reports weights;
@@ -185,6 +195,26 @@ func (r *Run) TotalDupUpdates() int {
 	total := 0
 	for _, rec := range r.Rounds {
 		total += rec.DupUpdates
+	}
+	return total
+}
+
+// TotalZeroedUpdates sums the updates the aggregation stack dropped for
+// exceeding the zeroing bound.
+func (r *Run) TotalZeroedUpdates() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.ZeroedUpdates
+	}
+	return total
+}
+
+// TotalClippedUpdates sums the updates the aggregation stack rescaled
+// onto the clip ball.
+func (r *Run) TotalClippedUpdates() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.ClippedUpdates
 	}
 	return total
 }
