@@ -130,31 +130,47 @@ func BenchmarkFaults(b *testing.B) { benchArtifact(b, "faults") }
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkGradEval measures one mini-batch gradient evaluation per model
-// family, the unit cost behind every timing artifact.
+// family, the unit cost behind every timing artifact. The -f32 sub-runs
+// measure the same evaluation on the float32 engine (fl's DType "f32");
+// comparing ds vs ds-f32 gives the fp32 training speedup per model family.
 func BenchmarkGradEval(b *testing.B) {
 	for _, ds := range []string{"adult", "fmnist", "cifar100", "shakespeare"} {
+		net, err := dataset.Model(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		train, _, err := dataset.Standard(ds, dataset.ScaleSmall, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 24
+		r := rng.New(2)
+		params := net.InitParams(r)
+		sampler := dataset.NewSampler(train, r)
+		x := make([]float64, batch*train.In.Size())
+		y := make([]int, batch)
+		sampler.Batch(x, y)
 		b.Run(ds, func(b *testing.B) {
 			defer recordBench(b)()
-			net, err := dataset.Model(ds)
-			if err != nil {
-				b.Fatal(err)
-			}
-			train, _, err := dataset.Standard(ds, dataset.ScaleSmall, 1)
-			if err != nil {
-				b.Fatal(err)
-			}
-			const batch = 24
-			r := rng.New(2)
-			params := net.InitParams(r)
 			eng := nn.NewEngine(net, batch)
-			sampler := dataset.NewSampler(train, r)
-			x := make([]float64, batch*train.In.Size())
-			y := make([]int, batch)
-			sampler.Batch(x, y)
 			grad := make([]float64, net.NumParams())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng.Gradient(params, x, y, grad)
+			}
+			b.ReportMetric(float64(net.GradFlops(batch)), "flops/op")
+		})
+		b.Run(ds+"-f32", func(b *testing.B) {
+			defer recordBench(b)()
+			params32 := make([]float32, len(params))
+			x32 := make([]float32, len(x))
+			vecmath.Narrow(params32, params)
+			vecmath.Narrow(x32, x)
+			eng := nn.NewEngine32(net, batch)
+			grad := make([]float32, net.NumParams())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Gradient(params32, x32, y, grad)
 			}
 			b.ReportMetric(float64(net.GradFlops(batch)), "flops/op")
 		})
@@ -348,6 +364,24 @@ func BenchmarkSparseAggregate(b *testing.B) {
 			}
 		}
 	})
+	// The f32 rows measure the same pass over float32 update buffers (the
+	// precision client-side state has under DType "f32"): half the memory
+	// traffic for a memory-bound kernel, so ~2x is the expected ratio.
+	b.Run("dense-f32", func(b *testing.B) {
+		defer recordBench(b)()
+		dst32 := make([]float32, d)
+		dense32 := make([][]float32, n)
+		for u := range dense32 {
+			dense32[u] = make([]float32, d)
+			vecmath.Narrow(dense32[u], dense[u])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for u := range dense32 {
+				vecmath.AXPY32(1.0/n, dense32[u], dst32)
+			}
+		}
+	})
 	for _, frac := range []float64{0.01, 0.10} {
 		k := int(frac * d)
 		idx := make([][]int32, n)
@@ -382,6 +416,21 @@ func BenchmarkSparseAggregate(b *testing.B) {
 				}
 			}
 			_ = s
+		})
+		b.Run(name+"-f32", func(b *testing.B) {
+			defer recordBench(b)()
+			dst32 := make([]float32, d)
+			val32 := make([][]float32, n)
+			for u := range val32 {
+				val32[u] = make([]float32, k)
+				vecmath.Narrow(val32[u], val[u])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for u := range idx {
+					vecmath.ScatterAXPY32(1.0/n, idx[u], val32[u], dst32)
+				}
+			}
 		})
 	}
 }

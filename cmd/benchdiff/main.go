@@ -9,9 +9,10 @@
 //	benchdiff -baseline old.json -fresh new.json -threshold 0.5 -pins BenchmarkCodec,BenchmarkGEMM
 //	benchdiff -baseline old.json -fresh new.json -alloc-slack 0
 //
-// Only benchmarks present in both files and matching a pinned name prefix
-// are compared, so a filtered bench run gates exactly the kernels it
-// measured. Entries faster than -min-ns in the baseline are skipped for
+// Only fresh benchmarks matching a pinned name prefix are gated, so a
+// filtered bench run gates exactly the kernels it measured; a pinned
+// benchmark absent from the baseline is reported as new and passes.
+// Entries faster than -min-ns in the baseline are skipped for
 // the timing gate: below that, one-shot (-benchtime=1x) timer noise
 // dominates any real signal. The allocation gate has no such floor —
 // allocs/op is deterministic, and the pinned kernels are all 0-alloc in
@@ -81,11 +82,20 @@ func compare(baseline, fresh map[string]benchResult, prefixes []string, g gate) 
 		if !pinned(name, prefixes) {
 			continue
 		}
+		f := fresh[name]
 		base, ok := baseline[name]
 		if !ok {
+			// A pinned benchmark with no baseline entry is a freshly added
+			// kernel, not a regression: report it as passing so a PR that
+			// introduces a benchmark doesn't have to update the committed
+			// baseline in the same change.
+			out = append(out, diffLine{
+				name: name,
+				line: fmt.Sprintf("%-55s %12s -> %12.0f ns/op  %5s -> %5.0f allocs/op  new benchmark (no baseline)",
+					name, "-", f.NsPerOp, "-", f.AllocsPerOp),
+			})
 			continue
 		}
-		f := fresh[name]
 		var reasons []string
 		if base.NsPerOp > g.minNs {
 			if delta := f.NsPerOp/base.NsPerOp - 1; delta > g.threshold {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -42,7 +43,7 @@ func TestCompareGates(t *testing.T) {
 		"BenchmarkGEMM/fast": {Name: "BenchmarkGEMM/fast", NsPerOp: 5000, AllocsPerOp: 40},
 		// Not pinned: never compared.
 		"BenchmarkFig2RoundAccuracy": {Name: "BenchmarkFig2RoundAccuracy", NsPerOp: 1},
-		// Not in baseline: skipped.
+		// Not in baseline: reported as a new benchmark, passes.
 		"BenchmarkGEMM/new": {Name: "BenchmarkGEMM/new", NsPerOp: 100000},
 	}
 	lines := compare(baseline, fresh, prefixes, g)
@@ -54,6 +55,7 @@ func TestCompareGates(t *testing.T) {
 		"BenchmarkGEMM/square64": false,
 		"BenchmarkAXPY":          true,
 		"BenchmarkGEMM/fast":     true,
+		"BenchmarkGEMM/new":      false,
 	}
 	if len(verdicts) != len(want) {
 		t.Fatalf("compared %v, want exactly %v", verdicts, want)
@@ -61,6 +63,14 @@ func TestCompareGates(t *testing.T) {
 	for name, regressed := range want {
 		if verdicts[name] != regressed {
 			t.Fatalf("%s regressed = %v, want %v (lines %+v)", name, verdicts[name], regressed, lines)
+		}
+	}
+
+	// The new-benchmark line says so explicitly (humans read the CI log
+	// to decide whether a baseline refresh is due).
+	for _, l := range lines {
+		if l.name == "BenchmarkGEMM/new" && !strings.Contains(l.line, "new benchmark") {
+			t.Fatalf("missing-baseline line lacks the new-benchmark marker: %s", l.line)
 		}
 	}
 

@@ -64,6 +64,7 @@ func run() error {
 		deadlineSec = flag.Float64("deadline", 0, "deadline policy: modeled seconds per round (0 = 1.5× the nominal modeled round)")
 		buffer      = flag.Int("buffer", 0, "async policy: buffered updates per server step (0 = clients/4, min 1)")
 		hetero      = flag.String("hetero", "uniform", "device fleet: "+strings.Join(simclock.FleetNames(), "|"))
+		dtype       = flag.String("dtype", "f64", "client compute precision: f64|f32 (f32 halves training memory and speeds up local steps; aggregation and metrics stay float64)")
 		compressStr = flag.String("compress", "", "uplink codec: none|topk[:frac]|int8[:chunk] (default dense uploads)")
 		topkFrac    = flag.Float64("topk", 0, "kept-coordinate fraction for -compress topk (0 = the codec's, default 0.01)")
 		attack      = flag.String("attack", "", "corrupt clients: kind[:frac[:scale]], kind one of "+strings.Join(adversary.KindNames(), "|"))
@@ -188,6 +189,7 @@ func run() error {
 		LocalLR:      *lr,
 		GlobalLR:     *globalLR,
 		Seed:         *seed,
+		DType:        *dtype,
 		WeightByData: *weightData,
 		Policy:       policy,
 		Devices:      fleet,

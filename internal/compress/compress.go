@@ -301,3 +301,30 @@ func EncodeEF(c Codec, p *Payload, x, e []float64, r *rng.RNG, scratch []float64
 	}
 	copy(x, dec)
 }
+
+// EncodeEF32 is EncodeEF with a float32 residual, for runs whose client
+// compute state is float32 (fl's DType "f32"): the residual carries
+// client-local dropped mass — the same precision class as the client's
+// training state — while the fold/encode/decode arithmetic stays float64
+// on the already-widened update x, so the wire payload and the
+// server-visible decoded update remain exactly what the codec computes.
+// e32 must be non-nil and len(x) long; non-finite residual coordinates
+// reset to zero exactly as in EncodeEF, and the narrowing to fp32 happens
+// after that guard so an Inf produced by the subtraction itself is also
+// caught.
+func EncodeEF32(c Codec, p *Payload, x []float64, e32 []float32, r *rng.RNG, scratch []float64) {
+	for i, v := range e32 {
+		x[i] += float64(v)
+	}
+	c.Encode(p, x, r, scratch)
+	dec := scratch[:len(x)]
+	c.Decode(dec, p)
+	for i := range e32 {
+		v := x[i] - dec[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		e32[i] = float32(v)
+	}
+	copy(x, dec)
+}

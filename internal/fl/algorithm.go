@@ -44,7 +44,10 @@ type StepCtx struct {
 	// algorithms that need additional gradient evaluations (STEM).
 	BatchX []float64
 	BatchY []int
-	// Eng is the client's execution engine for extra evaluations.
+	// Eng is the client's execution engine for extra evaluations. It is
+	// nil under Config.DType "f32"; algorithms that use it must declare
+	// the dependency via RequiresF64Engine so fp32 runs reject them at
+	// setup instead of panicking mid-round.
 	Eng *nn.Engine
 	// Scratch is a NumParams-sized scratch vector owned by the client.
 	Scratch []float64
@@ -278,6 +281,16 @@ type Algorithm interface {
 	// MeanAlpha reports the mean correction coefficient of the last
 	// aggregation for diagnostics; algorithms without one return 0.
 	MeanAlpha() float64
+}
+
+// RequiresF64Engine marks algorithms whose hooks call StepCtx.Eng — the
+// client's float64 engine — for extra evaluations (STEM's previous-round
+// gradient). Runs with Config.DType "f32" carry no float64 engine in
+// their slots, so newScheduler rejects marked algorithms up front with a
+// clear error instead of letting a hook hit a nil engine mid-round.
+type RequiresF64Engine interface {
+	// RequiresF64Engine is a marker; it is never called.
+	RequiresF64Engine()
 }
 
 // Base provides no-op defaults for the optional Algorithm hooks; concrete

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/compress"
 	"repro/internal/metrics"
+	"repro/internal/vecmath"
 )
 
 // Run checkpointing (DESIGN.md §8). A checkpoint is the complete state
@@ -131,7 +132,24 @@ func (s *scheduler) snapshot(t int) error {
 				return err
 			}
 		}
-		if err := ckpt.WriteF64Rows(w, comp.resid); err != nil {
+		if comp.resid32 != nil {
+			// fp32 residuals are widened to float64 rows on the wire:
+			// widening is exact and restore's narrowing is its exact
+			// inverse, so the round-trip is bit-identical without a
+			// second on-disk row format. (DType is fingerprinted, so a
+			// blob can never be restored under the other precision.)
+			rows := make([][]float64, len(comp.resid32))
+			for i, e := range comp.resid32 {
+				if e == nil {
+					continue
+				}
+				rows[i] = make([]float64, len(e))
+				vecmath.Widen(rows[i], e)
+			}
+			if err := ckpt.WriteF64Rows(w, rows); err != nil {
+				return err
+			}
+		} else if err := ckpt.WriteF64Rows(w, comp.resid); err != nil {
 			return err
 		}
 	}
@@ -368,18 +386,39 @@ func (s *scheduler) restoreBody(r *bytes.Reader, applyRNG bool) error {
 		if err != nil {
 			return fmt.Errorf("EF residuals: %w", err)
 		}
-		if rows != nil && len(rows) != len(comp.resid) {
-			return fmt.Errorf("%d residual rows for %d clients", len(rows), len(comp.resid))
-		}
-		for i := range comp.resid {
-			if rows == nil || rows[i] == nil {
-				comp.resid[i] = nil
-				continue
+		if comp.resid32 != nil {
+			if rows != nil && len(rows) != len(comp.resid32) {
+				return fmt.Errorf("%d residual rows for %d clients", len(rows), len(comp.resid32))
 			}
-			if len(rows[i]) != len(s.params) {
-				return fmt.Errorf("client %d residual length %d, want %d", i, len(rows[i]), len(s.params))
+			for i := range comp.resid32 {
+				if rows == nil || rows[i] == nil {
+					comp.resid32[i] = nil
+					continue
+				}
+				if len(rows[i]) != len(s.params) {
+					return fmt.Errorf("client %d residual length %d, want %d", i, len(rows[i]), len(s.params))
+				}
+				e := comp.resid32[i]
+				if e == nil {
+					e = make([]float32, len(s.params))
+				}
+				vecmath.Narrow(e, rows[i])
+				comp.resid32[i] = e
 			}
-			comp.resid[i] = rows[i]
+		} else {
+			if rows != nil && len(rows) != len(comp.resid) {
+				return fmt.Errorf("%d residual rows for %d clients", len(rows), len(comp.resid))
+			}
+			for i := range comp.resid {
+				if rows == nil || rows[i] == nil {
+					comp.resid[i] = nil
+					continue
+				}
+				if len(rows[i]) != len(s.params) {
+					return fmt.Errorf("client %d residual length %d, want %d", i, len(rows[i]), len(s.params))
+				}
+				comp.resid[i] = rows[i]
+			}
 		}
 	}
 	hasPlan, err := ckpt.ReadBool(r)

@@ -90,6 +90,16 @@ type Config struct {
 	GlobalLR float64
 	// Seed drives every random choice in the run.
 	Seed uint64
+	// DType selects the client-side training compute precision: "f64" (or
+	// empty, the default) is the float64 golden path; "f32" runs each
+	// client's forward/backward natively in float32 on the AVX2 8-lane
+	// kernels (DESIGN.md §10). Precision is a client-compute property
+	// only: uploads are widened to float64 at the aggregation boundary,
+	// so every aggregation rule, robust stage, server optimizer, and
+	// checkpoint runs bit-identical float64 arithmetic under either
+	// setting. Algorithms needing in-step float64 gradient evaluations
+	// (STEM) reject "f32" at setup.
+	DType string
 	// Parallelism bounds concurrent client execution; 0 means GOMAXPROCS.
 	Parallelism int
 	// EvalEvery evaluates test accuracy every this many rounds; 0 means 1.
@@ -201,6 +211,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("fl: LocalLR %v must be positive", c.LocalLR)
 	case c.GlobalLR < 0:
 		return fmt.Errorf("fl: GlobalLR %v must be non-negative", c.GlobalLR)
+	case c.DType != "" && c.DType != "f64" && c.DType != "f32":
+		return fmt.Errorf("fl: unknown DType %q (valid: f64, f32)", c.DType)
 	case c.ParticipationFraction < 0 || c.ParticipationFraction > 1:
 		return fmt.Errorf("fl: ParticipationFraction %v must be in [0,1]", c.ParticipationFraction)
 	case c.Policy < PolicySync || c.Policy > PolicyAsync:
@@ -287,6 +299,9 @@ func (c Config) Validate() error {
 	}
 	return nil
 }
+
+// isF32 reports whether clients train on the float32 compute path.
+func (c Config) isF32() bool { return c.DType == "f32" }
 
 // globalLR resolves the ηg default.
 func (c Config) globalLR() float64 {

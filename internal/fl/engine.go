@@ -112,6 +112,13 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 	if len(cfg.Devices) > 0 && len(cfg.Devices) != n {
 		return nil, fmt.Errorf("fl: %d device profiles for %d clients", len(cfg.Devices), n)
 	}
+	if cfg.isF32() {
+		// Checked on the raw algorithm before stacking: the marker is a
+		// property of the inner algorithm, and wrappers would hide it.
+		if _, ok := alg.(RequiresF64Engine); ok {
+			return nil, fmt.Errorf("fl: algorithm %s needs the float64 engine and does not support DType %q", alg.Name(), cfg.DType)
+		}
+	}
 
 	root := rng.New(cfg.Seed)
 	params := net.InitParams(root.Derive("init", 0))
@@ -172,8 +179,12 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		}
 		comp := &compressor{
 			codec:   codec,
-			resid:   make([][]float64, n),
 			streams: make([]*rng.RNG, n),
+		}
+		if cfg.isF32() {
+			comp.resid32 = make([][]float32, n)
+		} else {
+			comp.resid = make([][]float64, n)
 		}
 		for i := range comp.streams {
 			comp.streams[i] = root.Derive("compress", i)
@@ -266,6 +277,68 @@ func localUpdate(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float6
 		}
 	}
 	vecmath.Sub(delta, sl.w0, sl.w)
+	alg.EndLocal(c.id, round, delta)
+	c.lastLoss = lossSum / float64(cfg.LocalSteps)
+}
+
+// localUpdate32 is the float32 twin of localUpdate, selected by
+// Config.DType "f32" (DESIGN.md §10). The client trains on the slot's fp32
+// state (w32/grad32 through Engine32), but every algorithm hook still sees
+// float64: the loop widens w32 and grad32 into sl.w and sl.grad before
+// GradAdjust, and applies the hook's correction by narrowing it back to
+// fp32 for the fused step. The uploaded delta is the exact float64
+// widening of the fp32 trajectory difference narrow(w0) − w32, so the
+// aggregation boundary — and everything past it — stays float64.
+//
+// StepCtx.Eng is nil here: slots carry no float64 engine in fp32 mode, and
+// algorithms that need one (RequiresF64Engine) are rejected at setup.
+func localUpdate32(cfg *Config, alg Algorithm, c *client, sl *slot, delta []float64, round int, global []float64, smp *dataset.Sampler) {
+	alg.LocalInit(c.id, round, global, sl.w0)
+	alg.BeginLocal(c.id, round, sl.w0)
+	vecmath.Narrow(sl.w32, sl.w0)
+	ctx := &sl.ctx
+	*ctx = StepCtx{
+		Client:  c.id,
+		Round:   round,
+		W:       sl.w,
+		W0:      sl.w0,
+		Grad:    sl.grad,
+		BatchX:  sl.batchX,
+		BatchY:  sl.batchY,
+		Scratch: sl.scratch,
+	}
+	var lossSum float64
+	for k := 0; k < cfg.LocalSteps; k++ {
+		smp.Batch(sl.batchX, sl.batchY)
+		vecmath.Narrow(sl.batchX32, sl.batchX)
+		lossSum += sl.eng32.Gradient(sl.w32, sl.batchX32, sl.batchY, sl.grad32)
+		vecmath.Widen(sl.w, sl.w32)
+		vecmath.Widen(sl.grad, sl.grad32)
+		ctx.Step = k
+		alg.GradAdjust(ctx)
+		if ctx.fuseVec != nil {
+			// The correction may vary per step (it is a hook-owned
+			// float64 vector), so it is narrowed every iteration; the raw
+			// gradient stays valid in grad32 per the FuseCorrection
+			// contract.
+			vecmath.Narrow(sl.corr32, ctx.fuseVec)
+			vecmath.AXPYPY32(-float32(cfg.LocalLR), sl.grad32, -float32(cfg.LocalLR*ctx.fuseCoeff), sl.corr32, sl.w32)
+			ctx.fuseVec = nil
+		} else {
+			// Re-narrow in case the hook rewrote ctx.Grad in place
+			// (clipping, scaling); identity when it did not.
+			vecmath.Narrow(sl.grad32, sl.grad)
+			vecmath.AXPY32(-float32(cfg.LocalLR), sl.grad32, sl.w32)
+		}
+	}
+	// Δ = widen(narrow(w0) − w_K): the fp32 trajectory difference, widened
+	// exactly. Subtracting in fp32 first keeps the delta consistent with
+	// the weights the client actually trained (w0's bits below fp32
+	// precision never entered the trajectory). grad32 is free as a temp
+	// after the loop.
+	vecmath.Narrow(sl.grad32, sl.w0)
+	vecmath.Sub32(sl.grad32, sl.grad32, sl.w32)
+	vecmath.Widen(delta, sl.grad32)
 	alg.EndLocal(c.id, round, delta)
 	c.lastLoss = lossSum / float64(cfg.LocalSteps)
 }

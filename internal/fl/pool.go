@@ -16,10 +16,21 @@ import (
 // overwritten by each local round, so which slot serves which client is
 // invisible in the results (the P=1-vs-P=8 bit-identity tests pin this).
 type slot struct {
-	eng                  *nn.Engine
+	eng                  *nn.Engine // float64 engine; nil under DType "f32"
 	w0, w, grad, scratch []float64
 	batchX               []float64
 	batchY               []int
+	// The float32 compute path (Config.DType "f32", DESIGN.md §10): the
+	// fp32 engine replaces the fp64 one — halving the activation arenas,
+	// the dominant slot memory — and the four fp32 twins bridge the hot
+	// loop. w0/w/grad/scratch stay allocated as the float64 views every
+	// algorithm hook reads; localUpdate32 keeps the two precisions in
+	// sync at the hook boundary.
+	eng32    *nn.Engine32
+	w32      []float32
+	grad32   []float32
+	corr32   []float32 // narrowed fused-correction vector
+	batchX32 []float32
 	// ctx is the slot's reusable StepCtx, so dispatching a local round
 	// does not allocate (the interface call to GradAdjust would otherwise
 	// force a fresh StepCtx to escape every round).
@@ -61,7 +72,11 @@ func (t *roundTask) run(j int, sl *slot) {
 	if fab := c.fabricatorAt(t.now); fab != nil {
 		c.fabricate(fab, t.cfg, t.updates[j].Delta, t.round, t.global, t.prevGlobal)
 	} else {
-		localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global, c.samplerAt(t.now))
+		if t.cfg.isF32() {
+			localUpdate32(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global, c.samplerAt(t.now))
+		} else {
+			localUpdate(t.cfg, t.alg, c, sl, t.updates[j].Delta, t.round, t.global, c.samplerAt(t.now))
+		}
 		c.injectDelta(t.cfg, t.updates[j].Delta, t.round, t.now, t.global, t.prevGlobal)
 	}
 	if comp := t.pool.comp; comp != nil {
@@ -89,7 +104,8 @@ type upload struct {
 // residuals and streams without locking.
 type compressor struct {
 	codec   compress.Codec
-	resid   [][]float64
+	resid   [][]float64 // error-feedback residuals; nil rows until first use
+	resid32 [][]float32 // fp32 residuals under DType "f32" (resid stays nil)
 	streams []*rng.RNG
 }
 
@@ -100,6 +116,19 @@ type compressor struct {
 // for the client's next round (compress.EncodeEF).
 func (c *compressor) compress(u *Update, sl *slot) {
 	id := u.Client
+	if c.resid32 != nil {
+		// fp32 mode: the residual rides the slot dtype — it carries
+		// client-local dropped mass, the same precision class as the
+		// client's training state — while the encode/decode arithmetic
+		// stays float64 on the widened delta (compress.EncodeEF32).
+		e := c.resid32[id]
+		if e == nil {
+			e = make([]float32, len(u.Delta))
+			c.resid32[id] = e
+		}
+		compress.EncodeEF32(c.codec, u.Payload, u.Delta, e, c.streams[id], sl.scratch)
+		return
+	}
 	e := c.resid[id]
 	if e == nil {
 		e = make([]float64, len(u.Delta))
@@ -147,13 +176,21 @@ func newSlotPool(net *nn.Network, cfg Config, n int) *slotPool {
 	inSize := net.InShape().Size()
 	for w := 0; w < workers; w++ {
 		sl := &slot{
-			eng:     nn.NewEngine(net, cfg.BatchSize),
 			w0:      make([]float64, p.numParams),
 			w:       make([]float64, p.numParams),
 			grad:    make([]float64, p.numParams),
 			scratch: make([]float64, p.numParams),
 			batchX:  make([]float64, cfg.BatchSize*inSize),
 			batchY:  make([]int, cfg.BatchSize),
+		}
+		if cfg.isF32() {
+			sl.eng32 = nn.NewEngine32(net, cfg.BatchSize)
+			sl.w32 = make([]float32, p.numParams)
+			sl.grad32 = make([]float32, p.numParams)
+			sl.corr32 = make([]float32, p.numParams)
+			sl.batchX32 = make([]float32, cfg.BatchSize*inSize)
+		} else {
+			sl.eng = nn.NewEngine(net, cfg.BatchSize)
 		}
 		go p.worker(sl)
 	}

@@ -297,6 +297,93 @@ func TestSlotPoolMemoryFootprint(t *testing.T) {
 	}
 }
 
+// TestSlotPoolF32Footprint pins the fp32 half of the footprint story.
+// The whole-run heap is diluted by dtype-independent server state
+// (global model, aggregation buffers, eval machinery — float64 by
+// design, DESIGN.md §10), so the test isolates the quantity the DType
+// switch actually changes: the per-slot increment, measured as the live
+// heap difference between P=8 and P=1 runs divided by the seven extra
+// slots. On the CNN model the slot is dominated by its engine's
+// activation/gradient/col buffers, which halve exactly under fp32; the
+// five float64 bridge buffers each slot keeps for hook visibility pull
+// the ratio back up, so the bound is a conservative 0.70 rather than a
+// strict 0.5.
+func TestSlotPoolF32Footprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("footprint measurement in -short mode")
+	}
+	train, test, err := dataset.Standard("fmnist", dataset.ScaleSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, 64, 0.5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dataset.Model("fmnist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := part.Shards(train)
+	cfg := Config{
+		Rounds:     50,
+		LocalSteps: 2,
+		BatchSize:  32, // engine buffers scale with batch; bridge vectors don't
+		LocalLR:    0.05,
+		Seed:       7,
+		EvalEvery:  1000,
+	}
+
+	// liveHeap settles the heap before reading: a single GC leaves
+	// second-cycle garbage (sync.Pool contents, finalizer chains) from
+	// earlier tests in the same binary, which would then be collected
+	// between the two readings and deflate the delta.
+	liveHeap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+
+	footprint := func(dtype string, parallelism int) uint64 {
+		c := cfg
+		c.DType = dtype
+		c.Parallelism = parallelism
+		before := liveHeap()
+		s, err := newScheduler(c, goldenFedAvg{}, net, shards, test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.pool.close()
+		// Three rounds force the lazily allocated state (engine gradient
+		// buffers, delta ring) to its steady-state high-water mark.
+		for round := 0; round < 3; round++ {
+			if halt, err := s.syncRound(round); err != nil || halt {
+				t.Fatalf("round %d: halt=%v err=%v", round, halt, err)
+			}
+		}
+		live := liveHeap() - before
+		runtime.KeepAlive(s)
+		return live
+	}
+
+	perSlot := func(dtype string) float64 {
+		p8 := footprint(dtype, 8)
+		p1 := footprint(dtype, 1)
+		return float64(p8-p1) / 7
+	}
+
+	slot64 := perSlot("")
+	slot32 := perSlot("f32")
+	ratio := slot32 / slot64
+	t.Logf("fmnist per-slot live heap: f64 %.1f KiB, f32 %.1f KiB (f32/f64 = %.2f)",
+		slot64/(1<<10), slot32/(1<<10), ratio)
+	if ratio > 0.70 {
+		t.Fatalf("f32 per-slot heap %.0f B is not ≤0.70x the f64 per-slot heap %.0f B", slot32, slot64)
+	}
+}
+
 // TestDeltaRingReuse checks the ring's steady state directly: after a few
 // sync rounds with a fixed participant count the free list stops growing.
 func TestDeltaRingReuse(t *testing.T) {

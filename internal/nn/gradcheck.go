@@ -36,3 +36,38 @@ func GradCheck(net *Network, params, x []float64, labels []int, h float64) float
 	}
 	return worst
 }
+
+// GradCheck32 is the float32 twin of GradCheck, validating Engine32's
+// analytic gradient against central finite differences computed in the
+// fp32 forward path. The step h must be coarse enough to survive fp32
+// loss rounding (h ≈ 5e-3 works for the unit-scale test networks), and
+// callers should expect relative errors around 1e-2 rather than
+// GradCheck's 1e-6 — the limit here is fp32 arithmetic, not the layer
+// math, which is shared with the float64 path.
+func GradCheck32(net *Network, params, x []float32, labels []int, h float32) float64 {
+	eng := NewEngine32(net, len(labels))
+	analytic := make([]float32, net.NumParams())
+	eng.Gradient(params, x, labels, analytic)
+
+	p := make([]float32, len(params))
+	copy(p, params)
+	var worst float64
+	for i := range p {
+		orig := p[i]
+		p[i] = orig + h
+		lp := eng.Loss(p, x, labels)
+		p[i] = orig - h
+		lm := eng.Loss(p, x, labels)
+		p[i] = orig
+		numeric := (lp - lm) / (2 * float64(h))
+		denom := math.Abs(float64(analytic[i])) + math.Abs(numeric)
+		if denom < 1e-4 {
+			denom = 1e-4
+		}
+		rel := math.Abs(float64(analytic[i])-numeric) / denom
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}

@@ -8,10 +8,6 @@ import (
 	"repro/internal/vecmath"
 )
 
-func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
-
-func tanhFast(x float64) float64 { return math.Tanh(x) }
-
 // lstm is a single-layer LSTM over a fixed-length sequence. The input is a
 // flattened sequence of steps×inDim features (for character models each
 // step is a one-hot vector); the output is the final hidden state h_T,
@@ -92,7 +88,7 @@ func (l *lstm) scratchSize(batch int) int {
 
 // recBlocks slices the records of step t into the gate matrix (batch×4H)
 // and the cell/tanh-cell matrices (batch×H each).
-func recBlocks(recs []float64, t, batch, h int) (gates, c, tc []float64) {
+func recBlocks[F Float](recs []F, t, batch, h int) (gates, c, tc []F) {
 	base := t * batch * lstmRec * h
 	gates = recs[base : base+batch*4*h]
 	c = recs[base+batch*4*h : base+batch*5*h]
@@ -101,6 +97,22 @@ func recBlocks(recs []float64, t, batch, h int) (gates, c, tc []float64) {
 }
 
 func (l *lstm) forward(params, x, y []float64, batch int, sc *scratch) {
+	lstmForward(l, params, x, y, batch, sc)
+}
+
+func (l *lstm) forward32(params, x, y []float32, batch int, sc *scratch32) {
+	lstmForward(l, params, x, y, batch, sc)
+}
+
+func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
+	lstmBackward(l, params, x, dy, dx, dparams, batch, sc)
+}
+
+func (l *lstm) backward32(params, x, _, dy, dx, dparams []float32, batch int, sc *scratch32) {
+	lstmBackward(l, params, x, dy, dx, dparams, batch, sc)
+}
+
+func lstmForward[F Float](l *lstm, params, x, y []F, batch int, sc *scratchOf[F]) {
 	h := l.hidden
 	h4 := 4 * h
 	d := l.inDim
@@ -114,7 +126,7 @@ func (l *lstm) forward(params, x, y []float64, batch int, sc *scratch) {
 	hbuf := buf[len(recs)+batch*d : len(recs)+batch*d+batch*h]
 
 	inSize := l.in.Size()
-	var cPrev []float64 // previous step's batch×H cell block, nil at t=0
+	var cPrev []F // previous step's batch×H cell block, nil at t=0
 	for t := 0; t < l.steps; t++ {
 		gates, c, tc := recBlocks(recs, t, batch, h)
 		// Gather x_t batch-major and compute all gate pre-activations:
@@ -122,37 +134,88 @@ func (l *lstm) forward(params, x, y []float64, batch int, sc *scratch) {
 		for s := 0; s < batch; s++ {
 			copy(xbuf[s*d:(s+1)*d], x[s*inSize+t*d:s*inSize+(t+1)*d])
 		}
-		vecmath.Gemm(gates, xbuf, wx, batch, d, h4, false)
+		gemm(gates, xbuf, wx, batch, d, h4, false)
 		if t > 0 {
-			vecmath.Gemm(gates, hbuf, wh, batch, h, h4, true)
+			gemm(gates, hbuf, wh, batch, h, h4, true)
 		}
-		vecmath.AddRowVector(gates, bias, batch, h4)
+		addRowVectorF(gates, bias, batch, h4)
+		lstmGateForward(gates, c, tc, hbuf, cPrev, batch, h)
+		cPrev = c
+	}
+	copy(y[:batch*h], hbuf)
+}
+
+// lstmGateForward applies the elementwise half of one LSTM timestep:
+// activate the four gate blocks in place, update the cell state, and emit
+// h_t = o·tanh(c). cPrev is nil at t=0 (cell state starts at zero). The
+// default (float64) body is the pre-split loop verbatim — same operations
+// in the same order, so the sync golden stays bit-identical — while the
+// float32 specialization runs the polynomial fp32 transcendentals from
+// mathf32.go instead of round-tripping every element through the float64
+// libm.
+func lstmGateForward[F Float](gates, c, tc, hbuf, cPrev []F, batch, h int) {
+	h4 := 4 * h
+	switch g4 := any(gates).(type) {
+	case []float32:
+		lstmGateForward32(g4, any(c).([]float32), any(tc).([]float32),
+			any(hbuf).([]float32), any(cPrev).([]float32), batch, h)
+	default:
 		for s := 0; s < batch; s++ {
 			g := gates[s*h4 : (s+1)*h4]
 			cs := c[s*h : (s+1)*h]
 			tcs := tc[s*h : (s+1)*h]
 			hs := hbuf[s*h : (s+1)*h]
 			for j := 0; j < h; j++ {
-				gi := sigmoid(g[j])
-				gf := sigmoid(g[h+j])
-				gg := tanhFast(g[2*h+j])
-				go_ := sigmoid(g[3*h+j])
+				gi := sigmoidF(g[j])
+				gf := sigmoidF(g[h+j])
+				gg := tanhF(g[2*h+j])
+				go_ := sigmoidF(g[3*h+j])
 				g[j], g[h+j], g[2*h+j], g[3*h+j] = gi, gf, gg, go_
-				cp := 0.0
+				var cp F
 				if cPrev != nil {
 					cp = cPrev[s*h+j]
 				}
 				cs[j] = gf*cp + gi*gg
-				tcs[j] = tanhFast(cs[j])
+				tcs[j] = tanhF(cs[j])
 				hs[j] = go_ * tcs[j]
 			}
 		}
-		cPrev = c
 	}
-	copy(y[:batch*h], hbuf)
 }
 
-func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *scratch) {
+// lstmGateForward32 runs the gate nonlinearities block-wise through the
+// AVX2 vecmath kernels: the input+forget sigmoid block is contiguous in
+// the gate layout ([0,2H)), the cell tanh and output sigmoid blocks
+// follow, and the cell-state tanh vectorizes over the whole batch row.
+// Only the two cheap mul/add fusions remain scalar.
+func lstmGateForward32(gates, c, tc, hbuf, cPrev []float32, batch, h int) {
+	h4 := 4 * h
+	for s := 0; s < batch; s++ {
+		g := gates[s*h4 : (s+1)*h4]
+		vecmath.Sigmoid32(g[:2*h], g[:2*h])
+		vecmath.Tanh32(g[2*h:3*h], g[2*h:3*h])
+		vecmath.Sigmoid32(g[3*h:], g[3*h:])
+		cs := c[s*h : (s+1)*h]
+		tcs := tc[s*h : (s+1)*h]
+		hs := hbuf[s*h : (s+1)*h]
+		if cPrev != nil {
+			cp := cPrev[s*h : (s+1)*h]
+			for j := 0; j < h; j++ {
+				cs[j] = g[h+j]*cp[j] + g[j]*g[2*h+j]
+			}
+		} else {
+			for j := 0; j < h; j++ {
+				cs[j] = g[j] * g[2*h+j]
+			}
+		}
+		vecmath.Tanh32(tcs, cs)
+		for j := 0; j < h; j++ {
+			hs[j] = g[3*h+j] * tcs[j]
+		}
+	}
+}
+
+func lstmBackward[F Float](l *lstm, params, x, dy, dx, dparams []F, batch int, sc *scratchOf[F]) {
 	h := l.hidden
 	h4 := 4 * h
 	d := l.inDim
@@ -181,10 +244,10 @@ func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *
 
 	inSize := l.in.Size()
 	copy(dh, dy[:batch*h])
-	vecmath.Zero(dc)
+	zeroF(dc)
 	for t := l.steps - 1; t >= 0; t-- {
 		gates, _, tc := recBlocks(recs, t, batch, h)
-		var prevGates, prevC, prevTc []float64
+		var prevGates, prevC, prevTc []F
 		if t > 0 {
 			prevGates, prevC, prevTc = recBlocks(recs, t-1, batch, h)
 		}
@@ -198,7 +261,7 @@ func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *
 				dhj := dh[s*h+j]
 				do := dhj * tcj
 				dcj := dc[s*h+j] + dhj*go_*(1-tcj*tcj)
-				cp := 0.0
+				var cp F
 				if prevC != nil {
 					cp = prevC[s*h+j]
 				}
@@ -212,13 +275,13 @@ func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *
 				dzs[3*h+j] = do * go_ * (1 - go_)
 			}
 		}
-		vecmath.SumRowsAcc(db, dz, batch, h4)
+		sumRowsAccF(db, dz, batch, h4)
 		// dWx += X_tᵀ·dZ and dX_t = dZ·Wxᵀ.
 		for s := 0; s < batch; s++ {
 			copy(xbuf[s*d:(s+1)*d], x[s*inSize+t*d:s*inSize+(t+1)*d])
 		}
-		vecmath.GemmATB(dwx, xbuf, dz, batch, d, h4, true)
-		vecmath.GemmABT(dxt, dz, wx, batch, h4, d, false)
+		gemmATB(dwx, xbuf, dz, batch, d, h4, true)
+		gemmABT(dxt, dz, wx, batch, h4, d, false)
 		for s := 0; s < batch; s++ {
 			copy(dx[s*inSize+t*d:s*inSize+(t+1)*d], dxt[s*d:(s+1)*d])
 		}
@@ -230,8 +293,8 @@ func (l *lstm) backward(params, x, _, dy, dx, dparams []float64, batch int, sc *
 					hbuf[s*h+j] = prevGates[s*h4+3*h+j] * prevTc[s*h+j]
 				}
 			}
-			vecmath.GemmATB(dwh, hbuf, dz, batch, h, h4, true)
-			vecmath.GemmABT(dh, dz, wh, batch, h4, h, false)
+			gemmATB(dwh, hbuf, dz, batch, h, h4, true)
+			gemmABT(dh, dz, wh, batch, h4, h, false)
 		}
 	}
 }

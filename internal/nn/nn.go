@@ -36,36 +36,44 @@ func Vec(n int) Shape { return Shape{C: n, H: 1, W: 1} }
 
 func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
 
-// scratch holds per-layer working memory owned by an Engine. Layers size
-// the fields they need on first use; buffers are reused across steps.
-// Buffers persist between a forward call and the backward call that
-// follows it (the layer contract guarantees the pairing), so layers may
-// stash forward-pass state — im2col packings, LSTM gate records — instead
-// of recomputing it.
-type scratch struct {
+// scratchOf holds per-layer working memory owned by an Engine, in the
+// engine's compute precision. Layers size the fields they need on first
+// use; buffers are reused across steps. Buffers persist between a forward
+// call and the backward call that follows it (the layer contract
+// guarantees the pairing), so layers may stash forward-pass state —
+// im2col packings, LSTM gate records — instead of recomputing it.
+type scratchOf[F Float] struct {
 	ints     []int
-	floats   []float64
-	cols     []float64  // im2col packing, kept separate so it survives floatBuf use
-	children []*scratch // sub-layer scratches for composite layers (residual)
+	floats   []F
+	cols     []F              // im2col packing, kept separate so it survives floatBuf use
+	children []*scratchOf[F] // sub-layer scratches for composite layers (residual)
 }
 
-func (s *scratch) intBuf(n int) []int {
+// scratch and scratch32 are the two instantiations the engines use. (Go
+// 1.22 allows aliases to instantiated generics, just not parameterized
+// aliases.)
+type (
+	scratch   = scratchOf[float64]
+	scratch32 = scratchOf[float32]
+)
+
+func (s *scratchOf[F]) intBuf(n int) []int {
 	if cap(s.ints) < n {
 		s.ints = make([]int, n)
 	}
 	return s.ints[:n]
 }
 
-func (s *scratch) floatBuf(n int) []float64 {
+func (s *scratchOf[F]) floatBuf(n int) []F {
 	if cap(s.floats) < n {
-		s.floats = make([]float64, n)
+		s.floats = make([]F, n)
 	}
 	return s.floats[:n]
 }
 
-func (s *scratch) colBuf(n int) []float64 {
+func (s *scratchOf[F]) colBuf(n int) []F {
 	if cap(s.cols) < n {
-		s.cols = make([]float64, n)
+		s.cols = make([]F, n)
 	}
 	return s.cols[:n]
 }
@@ -73,22 +81,26 @@ func (s *scratch) colBuf(n int) []float64 {
 // child returns the i-th sub-scratch, allocating up to it on first use.
 // Composite layers hand one to each inner layer so their buffers never
 // collide with the parent's.
-func (s *scratch) child(i int) *scratch {
+func (s *scratchOf[F]) child(i int) *scratchOf[F] {
 	for len(s.children) <= i {
-		s.children = append(s.children, &scratch{})
+		s.children = append(s.children, &scratchOf[F]{})
 	}
 	return s.children[i]
 }
 
 // layer is the internal building-block contract. Concrete layers are
 // constructed with their input shape already resolved by the Builder, so
-// the methods carry no shape arguments.
+// the methods carry no shape arguments. Every layer implements each pass
+// twice — float64 and float32 — as thin wrappers over one generic body
+// (Go methods cannot be generic), so the two precisions execute the same
+// operation sequence and the float64 path is unchanged by construction.
 type layer interface {
 	name() string
 	inShape() Shape
 	outShape() Shape
 	paramCount() int
 	// initParams writes initial weights into params (length paramCount).
+	// Initialization is always float64; the fp32 path narrows afterwards.
 	initParams(params []float64, r *rng.RNG)
 	// forward computes y (batch×outSize) from x (batch×inSize).
 	forward(params, x, y []float64, batch int, sc *scratch)
@@ -96,6 +108,9 @@ type layer interface {
 	// accumulates parameter gradients into dparams. x and y are the buffers
 	// from the immediately preceding forward call with the same batch.
 	backward(params, x, y, dy, dx, dparams []float64, batch int, sc *scratch)
+	// forward32/backward32 are the float32 twins, used by Engine32.
+	forward32(params, x, y []float32, batch int, sc *scratch32)
+	backward32(params, x, y, dy, dx, dparams []float32, batch int, sc *scratch32)
 }
 
 // Network is an immutable feed-forward architecture: an ordered list of

@@ -49,17 +49,33 @@ func (l *residualBlock) initParams(params []float64, r *rng.RNG) {
 	vecmath.Scale(0.3, params[p1:])
 }
 
+func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) {
+	residualForward(l, params, x, y, batch, sc)
+}
+
+func (l *residualBlock) forward32(params, x, y []float32, batch int, sc *scratch32) {
+	residualForward(l, params, x, y, batch, sc)
+}
+
+func (l *residualBlock) backward(params, x, y, dy, dx, dparams []float64, batch int, sc *scratch) {
+	residualBackward(l, params, x, y, dy, dx, dparams, batch, sc)
+}
+
+func (l *residualBlock) backward32(params, x, y, dy, dx, dparams []float32, batch int, sc *scratch32) {
+	residualBackward(l, params, x, y, dy, dx, dparams, batch, sc)
+}
+
 // scratch layout (5 regions of batch*size each):
 // h1 | a1 | dz | da1 | dxc
 // The two inner convolutions get child scratches so their im2col packings
 // survive from forward to backward alongside this block's own buffer.
-func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) {
+func residualForward[F Float](l *residualBlock, params, x, y []F, batch int, sc *scratchOf[F]) {
 	size := l.in.Size()
 	n := batch * size
 	buf := sc.floatBuf(5 * n)
 	h1, a1 := buf[:n], buf[n:2*n]
 	p1 := l.conv1.paramCount()
-	l.conv1.forward(params[:p1], x, h1, batch, sc.child(0))
+	convForward(l.conv1, params[:p1], x, h1, batch, sc.child(0))
 	for i := 0; i < n; i++ {
 		if h1[i] > 0 {
 			a1[i] = h1[i]
@@ -67,7 +83,7 @@ func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) 
 			a1[i] = 0
 		}
 	}
-	l.conv2.forward(params[p1:], a1, y, batch, sc.child(1))
+	convForward(l.conv2, params[p1:], a1, y, batch, sc.child(1))
 	for i := 0; i < n; i++ {
 		v := y[i] + x[i]
 		if v > 0 {
@@ -78,11 +94,11 @@ func (l *residualBlock) forward(params, x, y []float64, batch int, sc *scratch) 
 	}
 }
 
-func (l *residualBlock) backward(params, x, y, dy, dx, dparams []float64, batch int, sc *scratch) {
+func residualBackward[F Float](l *residualBlock, params, x, y, dy, dx, dparams []F, batch int, sc *scratchOf[F]) {
 	size := l.in.Size()
 	n := batch * size
 	buf := sc.floatBuf(5 * n)
-	h1, a1 := buf[:n], buf[n:2*n]
+	h1 := buf[:n] // a1 lives in buf[n:2n] but backward only needs h1's mask
 	dz, da1, dxc := buf[2*n:3*n], buf[3*n:4*n], buf[4*n:]
 	// Final ReLU: its pre-activation is positive exactly where y > 0.
 	for i := 0; i < n; i++ {
@@ -93,14 +109,14 @@ func (l *residualBlock) backward(params, x, y, dy, dx, dparams []float64, batch 
 		}
 	}
 	p1 := l.conv1.paramCount()
-	l.conv2.backward(params[p1:], a1, nil, dz, da1, dparams[p1:], batch, sc.child(1))
+	convBackward(l.conv2, params[p1:], dz, da1, dparams[p1:], batch, sc.child(1))
 	// Inner ReLU mask from h1.
 	for i := 0; i < n; i++ {
 		if h1[i] <= 0 {
 			da1[i] = 0
 		}
 	}
-	l.conv1.backward(params[:p1], x, nil, da1, dxc, dparams[:p1], batch, sc.child(0))
+	convBackward(l.conv1, params[:p1], da1, dxc, dparams[:p1], batch, sc.child(0))
 	// Skip connection adds dz to the conv path's input gradient.
-	vecmath.Add(dx[:n], dxc[:n], dz[:n])
+	addF(dx[:n], dxc[:n], dz[:n])
 }

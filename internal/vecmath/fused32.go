@@ -1,0 +1,46 @@
+package vecmath
+
+// Float32 twins of the fused level-1 kernels in fused.go, used by the
+// fp32 local-update path. Same contract: AVX2+FMA assembly on amd64
+// behind the shared CPUID gate, pure-Go tails, and no bit-identical
+// guarantee across machines (FMA roundings differ from the fallback's
+// separate multiply/add).
+
+// fusedLanes32 is the element count each f32 assembly loop iteration
+// consumes (two 8-wide YMM vectors); tails shorter than this run in
+// pure Go.
+const fusedLanes32 = 16
+
+// AXPYPY32 computes z[i] += a*x[i] + b*y[i] in one pass — the f32 form
+// of the corrected SGD step (see AXPYPY).
+func AXPYPY32(a float32, x []float32, b float32, y, z []float32) {
+	checkLen("AXPYPY32", len(x), len(z))
+	checkLen("AXPYPY32", len(y), len(z))
+	n := len(z)
+	i := 0
+	if useAVX && n >= fusedLanes32 {
+		head := n &^ (fusedLanes32 - 1)
+		axpypy32Kernel(a, &x[0], b, &y[0], &z[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		z[i] += a*x[i] + b*y[i]
+	}
+}
+
+// SubScale32 computes dst[i] = s*(a[i]-b[i]) in one pass. dst may alias
+// a or b.
+func SubScale32(dst []float32, s float32, a, b []float32) {
+	checkLen("SubScale32", len(a), len(b))
+	checkLen("SubScale32", len(dst), len(a))
+	n := len(dst)
+	i := 0
+	if useAVX && n >= fusedLanes32 {
+		head := n &^ (fusedLanes32 - 1)
+		subScale32Kernel(s, &a[0], &b[0], &dst[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		dst[i] = s * (a[i] - b[i])
+	}
+}

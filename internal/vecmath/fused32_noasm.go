@@ -1,0 +1,23 @@
+//go:build !amd64 || noasm
+
+package vecmath
+
+func axpypy32Kernel(a float32, x *float32, b float32, y, z *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func subScale32Kernel(s float32, a, b, dst *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func axpy32Kernel(alpha float32, x, y *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func add32Kernel(a, b, dst *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func dot32Kernel(a, b *float32, n int) float32 {
+	panic("vecmath: assembly kernel without asm support")
+}

@@ -1,0 +1,114 @@
+package vecmath
+
+import "math"
+
+// Float32 transcendental kernels for the fp32 compute path. The slice
+// forms (Sigmoid32, Tanh32) run an AVX2+FMA polynomial kernel on amd64 —
+// the same range-reduced algorithm as the scalar bodies below, so the
+// assembly and the pure-Go tail agree to ~1 ulp — and the scalar Exp32
+// serves call sites that reduce in float64 anyway (softmax rows). None of
+// these carry a bit-identical guarantee against the float64 libm: they
+// are ~1e-7 relative-error approximations, an order below float32
+// rounding, pinned by TestMath32Accuracy. The float64 training path
+// never touches them.
+//
+// Lane-order caveat: as with the other f32 kernels, elements are
+// processed independently, so results are deterministic for a fixed
+// build; the assembly differs from the scalar tail only in FMA
+// contraction (~1 ulp) and in NaN handling at the saturation clamps.
+
+// math32Lanes is the element count each transcendental assembly loop
+// iteration consumes (one 8-wide YMM vector — the kernels are
+// compute-bound, so wider unrolling buys nothing).
+const math32Lanes = 8
+
+// Exp32 computes e^x in single precision: range reduction
+// x = q·ln2 + r with |r| ≤ ln2/2, a degree-6 polynomial for e^r, and an
+// exponent-bit reconstruction of 2^q. Overflow clamps to +Inf, underflow
+// (below the smallest normal float32) to 0; NaN propagates.
+func Exp32(x float32) float32 {
+	const (
+		log2e = 1.44269504088896341
+		// ln2 split so that q*ln2Hi is exact for |q| < 2^15.
+		ln2Hi = 0.693359375
+		ln2Lo = -2.12194440e-4
+	)
+	if x > 88.02969 { // e^x overflows float32
+		return float32(math.Inf(1))
+	}
+	if x < -87.33655 { // e^x underflows the smallest normal float32
+		return 0
+	}
+	// math.Floor compiles to a single ROUNDSD; q ∈ [-126, 127] after the
+	// clamps, so the biased exponent below stays in (0, 255).
+	q := float32(math.Floor(float64(x)*log2e + 0.5))
+	x -= q * ln2Hi
+	x -= q * ln2Lo
+	p := float32(1.9875691500e-4)
+	p = p*x + 1.3981999507e-3
+	p = p*x + 8.3334519073e-3
+	p = p*x + 4.1665795894e-2
+	p = p*x + 1.6666665459e-1
+	p = p*x + 5.0000001201e-1
+	r := p*x*x + x + 1
+	return r * math.Float32frombits(uint32(int32(q)+127)<<23)
+}
+
+// sigmoidScalar32 computes 1/(1+e^-x); the pure-Go body behind
+// Sigmoid32's tail. Saturation falls out of Exp32's clamps: large x → 1
+// exactly, large -x → 0 exactly.
+func sigmoidScalar32(x float32) float32 {
+	return 1 / (1 + Exp32(-x))
+}
+
+// tanhScalar32 computes tanh(x); the pure-Go body behind Tanh32's tail:
+// a degree-13 odd polynomial on |x| < 0.625, and 1 − 2/(e^{2|x|}+1)
+// above it, with the sign restored. Saturates to ±1 exactly once
+// e^{2|x|} overflows; NaN propagates.
+func tanhScalar32(x float32) float32 {
+	z := math.Float32frombits(math.Float32bits(x) &^ (1 << 31)) // |x|
+	if z >= 0.625 {
+		r := 1 - 2/(Exp32(2*z)+1)
+		if x < 0 {
+			return -r
+		}
+		return r
+	}
+	s := x * x
+	p := float32(-5.70498872745e-3)
+	p = p*s + 2.06390887954e-2
+	p = p*s - 5.37397155531e-2
+	p = p*s + 1.33314422036e-1
+	p = p*s - 3.33332819422e-1
+	return p*s*x + x
+}
+
+// Sigmoid32 writes dst[i] = 1/(1+e^-x[i]). dst may alias x.
+func Sigmoid32(dst, x []float32) {
+	checkLen("Sigmoid32", len(dst), len(x))
+	n := len(x)
+	i := 0
+	if useAVX && n >= math32Lanes {
+		head := n &^ (math32Lanes - 1)
+		sigmoid32Kernel(&x[0], &dst[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		dst[i] = sigmoidScalar32(x[i])
+	}
+}
+
+// Tanh32 writes dst[i] = tanh(x[i]). dst may alias x.
+func Tanh32(dst, x []float32) {
+	checkLen("Tanh32", len(dst), len(x))
+	n := len(x)
+	i := 0
+	if useAVX && n >= math32Lanes {
+		head := n &^ (math32Lanes - 1)
+		tanh32Kernel(&x[0], &dst[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		dst[i] = tanhScalar32(x[i])
+	}
+}

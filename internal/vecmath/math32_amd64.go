@@ -1,0 +1,17 @@
+//go:build amd64 && !noasm
+
+package vecmath
+
+// sigmoid32Kernel writes dst[i] = 1/(1+e^-x[i]) over the first n
+// elements with AVX2+FMA; n must be a positive multiple of math32Lanes.
+// dst may alias x.
+//
+//go:noescape
+func sigmoid32Kernel(x, dst *float32, n int)
+
+// tanh32Kernel writes dst[i] = tanh(x[i]) over the first n elements with
+// AVX2+FMA; n must be a positive multiple of math32Lanes. dst may alias
+// x.
+//
+//go:noescape
+func tanh32Kernel(x, dst *float32, n int)

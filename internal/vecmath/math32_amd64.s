@@ -1,0 +1,337 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Float32 transcendental AVX2+FMA kernels (see math32.go). Eight lanes
+// per iteration: the loops are compute-bound (~25 ops per vector), so
+// the two-vector unrolling of the level-1 kernels buys nothing here.
+// All constants live in RODATA as pre-broadcast 8-lane vectors and are
+// consumed as memory operands, which keeps every YMM register free for
+// the pipeline.
+//
+// EXPV is the shared core: e^v via range reduction v = q·ln2 + r
+// (|r| ≤ ln2/2), a degree-6 polynomial for e^r, and 2^q reconstructed by
+// integer-adding q<<23 to the bit pattern of 1.0f — the same algorithm,
+// coefficients, and clamps as the scalar Exp32, so assembly and tail
+// agree to ~1 ulp (FMA contraction only). One deviation: the clamps
+// saturate the *input*, so lanes that would overflow produce ~3.4e38
+// rather than +Inf — past the downstream 1/(1+e) and 2/(e+1) uses the
+// difference is below float32 resolution. NaN lanes are restored by an
+// unordered-compare blend in each caller.
+
+// Constant layout, one 32-byte broadcast vector per line.
+DATA expHi8<>+0(SB)/4, $0x42B00F34  // 88.02969, e^x overflow clamp
+DATA expHi8<>+4(SB)/4, $0x42B00F34
+DATA expHi8<>+8(SB)/4, $0x42B00F34
+DATA expHi8<>+12(SB)/4, $0x42B00F34
+DATA expHi8<>+16(SB)/4, $0x42B00F34
+DATA expHi8<>+20(SB)/4, $0x42B00F34
+DATA expHi8<>+24(SB)/4, $0x42B00F34
+DATA expHi8<>+28(SB)/4, $0x42B00F34
+GLOBL expHi8<>(SB), RODATA|NOPTR, $32
+
+DATA expLo8<>+0(SB)/4, $0xC2AEAC50  // -87.33655, e^x underflow clamp
+DATA expLo8<>+4(SB)/4, $0xC2AEAC50
+DATA expLo8<>+8(SB)/4, $0xC2AEAC50
+DATA expLo8<>+12(SB)/4, $0xC2AEAC50
+DATA expLo8<>+16(SB)/4, $0xC2AEAC50
+DATA expLo8<>+20(SB)/4, $0xC2AEAC50
+DATA expLo8<>+24(SB)/4, $0xC2AEAC50
+DATA expLo8<>+28(SB)/4, $0xC2AEAC50
+GLOBL expLo8<>(SB), RODATA|NOPTR, $32
+
+DATA log2e8<>+0(SB)/4, $0x3FB8AA3B  // log2(e)
+DATA log2e8<>+4(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+8(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+12(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+16(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+20(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+24(SB)/4, $0x3FB8AA3B
+DATA log2e8<>+28(SB)/4, $0x3FB8AA3B
+GLOBL log2e8<>(SB), RODATA|NOPTR, $32
+
+DATA half8<>+0(SB)/4, $0x3F000000  // 0.5
+DATA half8<>+4(SB)/4, $0x3F000000
+DATA half8<>+8(SB)/4, $0x3F000000
+DATA half8<>+12(SB)/4, $0x3F000000
+DATA half8<>+16(SB)/4, $0x3F000000
+DATA half8<>+20(SB)/4, $0x3F000000
+DATA half8<>+24(SB)/4, $0x3F000000
+DATA half8<>+28(SB)/4, $0x3F000000
+GLOBL half8<>(SB), RODATA|NOPTR, $32
+
+DATA ln2hi8<>+0(SB)/4, $0x3F318000  // 0.693359375 (exact in 9 bits)
+DATA ln2hi8<>+4(SB)/4, $0x3F318000
+DATA ln2hi8<>+8(SB)/4, $0x3F318000
+DATA ln2hi8<>+12(SB)/4, $0x3F318000
+DATA ln2hi8<>+16(SB)/4, $0x3F318000
+DATA ln2hi8<>+20(SB)/4, $0x3F318000
+DATA ln2hi8<>+24(SB)/4, $0x3F318000
+DATA ln2hi8<>+28(SB)/4, $0x3F318000
+GLOBL ln2hi8<>(SB), RODATA|NOPTR, $32
+
+DATA ln2lo8<>+0(SB)/4, $0xB95E8083  // ln2 - ln2hi
+DATA ln2lo8<>+4(SB)/4, $0xB95E8083
+DATA ln2lo8<>+8(SB)/4, $0xB95E8083
+DATA ln2lo8<>+12(SB)/4, $0xB95E8083
+DATA ln2lo8<>+16(SB)/4, $0xB95E8083
+DATA ln2lo8<>+20(SB)/4, $0xB95E8083
+DATA ln2lo8<>+24(SB)/4, $0xB95E8083
+DATA ln2lo8<>+28(SB)/4, $0xB95E8083
+GLOBL ln2lo8<>(SB), RODATA|NOPTR, $32
+
+DATA expC58<>+0(SB)/4, $0x39506967  // 1.9875691500e-4
+DATA expC58<>+4(SB)/4, $0x39506967
+DATA expC58<>+8(SB)/4, $0x39506967
+DATA expC58<>+12(SB)/4, $0x39506967
+DATA expC58<>+16(SB)/4, $0x39506967
+DATA expC58<>+20(SB)/4, $0x39506967
+DATA expC58<>+24(SB)/4, $0x39506967
+DATA expC58<>+28(SB)/4, $0x39506967
+GLOBL expC58<>(SB), RODATA|NOPTR, $32
+
+DATA expC48<>+0(SB)/4, $0x3AB743CE  // 1.3981999507e-3
+DATA expC48<>+4(SB)/4, $0x3AB743CE
+DATA expC48<>+8(SB)/4, $0x3AB743CE
+DATA expC48<>+12(SB)/4, $0x3AB743CE
+DATA expC48<>+16(SB)/4, $0x3AB743CE
+DATA expC48<>+20(SB)/4, $0x3AB743CE
+DATA expC48<>+24(SB)/4, $0x3AB743CE
+DATA expC48<>+28(SB)/4, $0x3AB743CE
+GLOBL expC48<>(SB), RODATA|NOPTR, $32
+
+DATA expC38<>+0(SB)/4, $0x3C088908  // 8.3334519073e-3
+DATA expC38<>+4(SB)/4, $0x3C088908
+DATA expC38<>+8(SB)/4, $0x3C088908
+DATA expC38<>+12(SB)/4, $0x3C088908
+DATA expC38<>+16(SB)/4, $0x3C088908
+DATA expC38<>+20(SB)/4, $0x3C088908
+DATA expC38<>+24(SB)/4, $0x3C088908
+DATA expC38<>+28(SB)/4, $0x3C088908
+GLOBL expC38<>(SB), RODATA|NOPTR, $32
+
+DATA expC28<>+0(SB)/4, $0x3D2AA9C1  // 4.1665795894e-2
+DATA expC28<>+4(SB)/4, $0x3D2AA9C1
+DATA expC28<>+8(SB)/4, $0x3D2AA9C1
+DATA expC28<>+12(SB)/4, $0x3D2AA9C1
+DATA expC28<>+16(SB)/4, $0x3D2AA9C1
+DATA expC28<>+20(SB)/4, $0x3D2AA9C1
+DATA expC28<>+24(SB)/4, $0x3D2AA9C1
+DATA expC28<>+28(SB)/4, $0x3D2AA9C1
+GLOBL expC28<>(SB), RODATA|NOPTR, $32
+
+DATA expC18<>+0(SB)/4, $0x3E2AAAAA  // 1.6666665459e-1
+DATA expC18<>+4(SB)/4, $0x3E2AAAAA
+DATA expC18<>+8(SB)/4, $0x3E2AAAAA
+DATA expC18<>+12(SB)/4, $0x3E2AAAAA
+DATA expC18<>+16(SB)/4, $0x3E2AAAAA
+DATA expC18<>+20(SB)/4, $0x3E2AAAAA
+DATA expC18<>+24(SB)/4, $0x3E2AAAAA
+DATA expC18<>+28(SB)/4, $0x3E2AAAAA
+GLOBL expC18<>(SB), RODATA|NOPTR, $32
+
+DATA one8<>+0(SB)/4, $0x3F800000  // 1.0; also 127<<23 for the 2^q bias
+DATA one8<>+4(SB)/4, $0x3F800000
+DATA one8<>+8(SB)/4, $0x3F800000
+DATA one8<>+12(SB)/4, $0x3F800000
+DATA one8<>+16(SB)/4, $0x3F800000
+DATA one8<>+20(SB)/4, $0x3F800000
+DATA one8<>+24(SB)/4, $0x3F800000
+DATA one8<>+28(SB)/4, $0x3F800000
+GLOBL one8<>(SB), RODATA|NOPTR, $32
+
+DATA two8<>+0(SB)/4, $0x40000000  // 2.0
+DATA two8<>+4(SB)/4, $0x40000000
+DATA two8<>+8(SB)/4, $0x40000000
+DATA two8<>+12(SB)/4, $0x40000000
+DATA two8<>+16(SB)/4, $0x40000000
+DATA two8<>+20(SB)/4, $0x40000000
+DATA two8<>+24(SB)/4, $0x40000000
+DATA two8<>+28(SB)/4, $0x40000000
+GLOBL two8<>(SB), RODATA|NOPTR, $32
+
+DATA thresh8<>+0(SB)/4, $0x3F200000  // 0.625, tanh poly/exp switch
+DATA thresh8<>+4(SB)/4, $0x3F200000
+DATA thresh8<>+8(SB)/4, $0x3F200000
+DATA thresh8<>+12(SB)/4, $0x3F200000
+DATA thresh8<>+16(SB)/4, $0x3F200000
+DATA thresh8<>+20(SB)/4, $0x3F200000
+DATA thresh8<>+24(SB)/4, $0x3F200000
+DATA thresh8<>+28(SB)/4, $0x3F200000
+GLOBL thresh8<>(SB), RODATA|NOPTR, $32
+
+DATA tanhC48<>+0(SB)/4, $0xBBBAF0EA  // -5.70498872745e-3
+DATA tanhC48<>+4(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+8(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+12(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+16(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+20(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+24(SB)/4, $0xBBBAF0EA
+DATA tanhC48<>+28(SB)/4, $0xBBBAF0EA
+GLOBL tanhC48<>(SB), RODATA|NOPTR, $32
+
+DATA tanhC38<>+0(SB)/4, $0x3CA9134E  // 2.06390887954e-2
+DATA tanhC38<>+4(SB)/4, $0x3CA9134E
+DATA tanhC38<>+8(SB)/4, $0x3CA9134E
+DATA tanhC38<>+12(SB)/4, $0x3CA9134E
+DATA tanhC38<>+16(SB)/4, $0x3CA9134E
+DATA tanhC38<>+20(SB)/4, $0x3CA9134E
+DATA tanhC38<>+24(SB)/4, $0x3CA9134E
+DATA tanhC38<>+28(SB)/4, $0x3CA9134E
+GLOBL tanhC38<>(SB), RODATA|NOPTR, $32
+
+DATA tanhC28<>+0(SB)/4, $0xBD5C1E2D  // -5.37397155531e-2
+DATA tanhC28<>+4(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+8(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+12(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+16(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+20(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+24(SB)/4, $0xBD5C1E2D
+DATA tanhC28<>+28(SB)/4, $0xBD5C1E2D
+GLOBL tanhC28<>(SB), RODATA|NOPTR, $32
+
+DATA tanhC18<>+0(SB)/4, $0x3E088393  // 1.33314422036e-1
+DATA tanhC18<>+4(SB)/4, $0x3E088393
+DATA tanhC18<>+8(SB)/4, $0x3E088393
+DATA tanhC18<>+12(SB)/4, $0x3E088393
+DATA tanhC18<>+16(SB)/4, $0x3E088393
+DATA tanhC18<>+20(SB)/4, $0x3E088393
+DATA tanhC18<>+24(SB)/4, $0x3E088393
+DATA tanhC18<>+28(SB)/4, $0x3E088393
+GLOBL tanhC18<>(SB), RODATA|NOPTR, $32
+
+DATA tanhC08<>+0(SB)/4, $0xBEAAAA99  // -3.33332819422e-1
+DATA tanhC08<>+4(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+8(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+12(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+16(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+20(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+24(SB)/4, $0xBEAAAA99
+DATA tanhC08<>+28(SB)/4, $0xBEAAAA99
+GLOBL tanhC08<>(SB), RODATA|NOPTR, $32
+
+DATA absmask8<>+0(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+4(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+8(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+12(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+16(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+20(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+24(SB)/4, $0x7FFFFFFF
+DATA absmask8<>+28(SB)/4, $0x7FFFFFFF
+GLOBL absmask8<>(SB), RODATA|NOPTR, $32
+
+DATA signmask8<>+0(SB)/4, $0x80000000
+DATA signmask8<>+4(SB)/4, $0x80000000
+DATA signmask8<>+8(SB)/4, $0x80000000
+DATA signmask8<>+12(SB)/4, $0x80000000
+DATA signmask8<>+16(SB)/4, $0x80000000
+DATA signmask8<>+20(SB)/4, $0x80000000
+DATA signmask8<>+24(SB)/4, $0x80000000
+DATA signmask8<>+28(SB)/4, $0x80000000
+GLOBL signmask8<>(SB), RODATA|NOPTR, $32
+
+// EXPV(v, q, p): v ← e^v elementwise; q and p are scratch.
+//
+//	clamp v to [expLo, expHi]
+//	q = floor(v·log2e + 0.5)
+//	r = v − q·ln2hi − q·ln2lo          (v reused for r)
+//	p = poly(r), e^r = p·r² + r + 1
+//	v = e^r · 2^q                      (2^q = (q<<23) + bits(1.0f))
+#define EXPV(v, q, p) \
+	VMINPS       expHi8<>(SB), v, v   \
+	VMAXPS       expLo8<>(SB), v, v   \
+	VMOVUPS      half8<>(SB), q       \
+	VFMADD231PS  log2e8<>(SB), v, q   \
+	VROUNDPS     $1, q, q             \
+	VFNMADD231PS ln2hi8<>(SB), q, v   \
+	VFNMADD231PS ln2lo8<>(SB), q, v   \
+	VMOVUPS      expC58<>(SB), p      \
+	VFMADD213PS  expC48<>(SB), v, p   \
+	VFMADD213PS  expC38<>(SB), v, p   \
+	VFMADD213PS  expC28<>(SB), v, p   \
+	VFMADD213PS  expC18<>(SB), v, p   \
+	VFMADD213PS  half8<>(SB), v, p    \
+	VMULPS       v, p, p              \
+	VFMADD213PS  v, v, p              \
+	VADDPS       one8<>(SB), p, p     \
+	VCVTPS2DQ    q, q                 \
+	VPSLLD       $23, q, q            \
+	VPADDD       one8<>(SB), q, q     \
+	VMULPS       q, p, v
+
+// func sigmoid32Kernel(x, dst *float32, n int)
+// dst[i] = 1/(1+e^-x[i])
+TEXT ·sigmoid32Kernel(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), R8
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+sigmoid32loop:
+	VMOVUPS (R8), Y3              // x, kept for the NaN blend
+	VXORPS  signmask8<>(SB), Y3, Y0 // v = -x
+
+	EXPV(Y0, Y1, Y2)
+
+	VADDPS    one8<>(SB), Y0, Y0 // 1 + e^-x
+	VMOVUPS   one8<>(SB), Y1
+	VDIVPS    Y0, Y1, Y0         // 1/(1+e^-x)
+	VCMPPS    $3, Y3, Y3, Y4     // unordered: NaN lanes of x
+	VBLENDVPS Y4, Y3, Y0, Y0     // propagate NaN inputs
+	VMOVUPS   Y0, (DI)
+	ADDQ      $32, R8
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JNZ       sigmoid32loop
+
+	VZEROUPPER
+	RET
+
+// func tanh32Kernel(x, dst *float32, n int)
+// dst[i] = tanh(x[i]): poly on |x|<0.625, 1-2/(e^{2|x|}+1) above, signed.
+TEXT ·tanh32Kernel(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), R8
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+
+tanh32loop:
+	VMOVUPS (R8), Y5                // x
+	VANDPS  absmask8<>(SB), Y5, Y7  // z = |x|
+	VANDPS  signmask8<>(SB), Y5, Y6 // sign(x)
+
+	// Exp branch: r1 = sign(x) · (1 − 2/(e^{2z}+1)).
+	VADDPS Y7, Y7, Y0 // 2z
+
+	EXPV(Y0, Y1, Y2)
+
+	VADDPS  one8<>(SB), Y0, Y0 // e^{2z}+1
+	VMOVUPS two8<>(SB), Y1
+	VDIVPS  Y0, Y1, Y1         // 2/(e^{2z}+1)
+	VMOVUPS one8<>(SB), Y2
+	VSUBPS  Y1, Y2, Y1         // 1 - 2/(e^{2z}+1)
+	VXORPS  Y6, Y1, Y1         // restore sign
+
+	// Poly branch: r2 = x + x·s·poly(s), s = x².
+	VMULPS      Y5, Y5, Y2
+	VMOVUPS     tanhC48<>(SB), Y3
+	VFMADD213PS tanhC38<>(SB), Y2, Y3
+	VFMADD213PS tanhC28<>(SB), Y2, Y3
+	VFMADD213PS tanhC18<>(SB), Y2, Y3
+	VFMADD213PS tanhC08<>(SB), Y2, Y3
+	VMULPS      Y2, Y3, Y3
+	VFMADD213PS Y5, Y5, Y3 // r2 = x·(p·s) + x
+
+	// Select per lane: poly where z < 0.625, exp branch otherwise. The
+	// clamps in EXPV would turn NaN lanes into finite junk, so NaN
+	// inputs are restored explicitly after the blend.
+	VCMPPS    $1, thresh8<>(SB), Y7, Y4 // z < 0.625
+	VBLENDVPS Y4, Y3, Y1, Y0
+	VCMPPS    $3, Y5, Y5, Y4 // unordered: NaN lanes of x
+	VBLENDVPS Y4, Y5, Y0, Y0 // propagate NaN inputs
+	VMOVUPS   Y0, (DI)
+	ADDQ      $32, R8
+	ADDQ      $32, DI
+	SUBQ      $8, CX
+	JNZ       tanh32loop
+
+	VZEROUPPER
+	RET

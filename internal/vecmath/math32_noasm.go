@@ -1,0 +1,11 @@
+//go:build !amd64 || noasm
+
+package vecmath
+
+func sigmoid32Kernel(x, dst *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func tanh32Kernel(x, dst *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}

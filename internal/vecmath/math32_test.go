@@ -1,0 +1,143 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// relErr32 measures |got−want|/max(|want|, tiny) with both evaluated in
+// float64, so the bounds below measure the kernel's own error, not
+// float32 rounding of the reference.
+func relErr32(got float32, want float64) float64 {
+	denom := math.Abs(want)
+	if denom < 1e-30 {
+		denom = 1e-30
+	}
+	return math.Abs(float64(got)-want) / denom
+}
+
+// TestMath32Accuracy pins the fp32 transcendental kernels against the
+// float64 libm: ≤4 ulp-ish (5e-7 relative) across the useful input
+// range, plus exact saturation at the clamps. These bounds are what let
+// the nn engine differential tests treat the fast kernels as
+// interchangeable with the libm.
+func TestMath32Accuracy(t *testing.T) {
+	const tol = 5e-7
+
+	// Exp32 over the whole non-saturated range. The reference is the
+	// float64 libm evaluated at the same float32-rounded input (at
+	// |x|≈80 input rounding alone moves e^x by ~4e-6 relative, which is
+	// not the kernel's error). Relative error is the right metric:
+	// downstream consumers (softmax, sigmoid) normalize.
+	for x := -87.0; x <= 88.0; x += 0.0137 {
+		xf := float32(x)
+		got := Exp32(xf)
+		want := math.Exp(float64(xf))
+		if e := relErr32(got, want); e > tol {
+			t.Fatalf("Exp32(%g) = %g, want %g (rel err %.2e)", xf, got, want, e)
+		}
+	}
+
+	// The scalar sigmoid/tanh bodies across the active region and into
+	// saturation.
+	for x := -30.0; x <= 30.0; x += 0.0041 {
+		xf := float32(x)
+		if e := relErr32(sigmoidScalar32(xf), 1/(1+math.Exp(-float64(xf)))); e > tol {
+			t.Fatalf("sigmoidScalar32(%g): rel err %.2e", xf, e)
+		}
+		if e := relErr32(tanhScalar32(xf), math.Tanh(float64(xf))); e > tol {
+			t.Fatalf("tanhScalar32(%g): rel err %.2e", xf, e)
+		}
+	}
+
+	// Clamp behavior: exact saturation, no NaN/Inf leaks.
+	if got := Exp32(89); !math.IsInf(float64(got), 1) {
+		t.Fatalf("Exp32(89) = %g, want +Inf", got)
+	}
+	if got := Exp32(-90); got != 0 {
+		t.Fatalf("Exp32(-90) = %g, want 0", got)
+	}
+	if got := sigmoidScalar32(200); got != 1 {
+		t.Fatalf("sigmoidScalar32(200) = %g, want 1", got)
+	}
+	if got := sigmoidScalar32(-200); got != 0 {
+		t.Fatalf("sigmoidScalar32(-200) = %g, want 0", got)
+	}
+	if got := tanhScalar32(50); got != 1 {
+		t.Fatalf("tanhScalar32(50) = %g, want 1", got)
+	}
+	if got := tanhScalar32(-50); got != -1 {
+		t.Fatalf("tanhScalar32(-50) = %g, want -1", got)
+	}
+	if got := tanhScalar32(0); got != 0 {
+		t.Fatalf("tanhScalar32(0) = %g, want 0", got)
+	}
+	for _, f := range []func(float32) float32{Exp32, sigmoidScalar32, tanhScalar32} {
+		if got := f(float32(math.NaN())); !math.IsNaN(float64(got)) {
+			t.Fatalf("NaN input did not propagate (got %g)", got)
+		}
+	}
+}
+
+// TestMath32SliceKernels drives the slice forms across uneven lengths
+// (assembly head + pure-Go tail) and checks every element against the
+// float64 libm within the same bound as the scalar bodies, with a small
+// extra allowance for FMA contraction in the assembly, plus a widened
+// absolute bound near sigmoid's negative saturation, where the assembly's
+// input clamp yields a subnormal instead of the scalar's exact 0. Inputs
+// sweep the active region, both saturation tails, and special values.
+func TestMath32SliceKernels(t *testing.T) {
+	var xs []float32
+	for x := -12.0; x <= 12.0; x += 0.00251 {
+		xs = append(xs, float32(x))
+	}
+	xs = append(xs, 0, -0.0, 88, -88, 200, -200, 0.624, 0.626, -0.625,
+		float32(math.Inf(1)), float32(math.Inf(-1)))
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 31, len(xs)} {
+		x := xs[:n]
+		sig := make([]float32, n)
+		th := make([]float32, n)
+		Sigmoid32(sig, x)
+		Tanh32(th, x)
+		for i, v := range x {
+			wantS := 1 / (1 + math.Exp(-float64(v)))
+			wantT := math.Tanh(float64(v))
+			if e := relErr32(sig[i], wantS); e > 1e-6 && math.Abs(float64(sig[i])-wantS) > 1e-30 {
+				t.Fatalf("Sigmoid32[%d](%g) = %g, want %g (rel err %.2e)", i, v, sig[i], wantS, e)
+			}
+			if e := relErr32(th[i], wantT); e > 1e-6 {
+				t.Fatalf("Tanh32[%d](%g) = %g, want %g (rel err %.2e)", i, v, th[i], wantT, e)
+			}
+		}
+	}
+
+	// NaN propagates through both slice kernels (head lanes included).
+	nans := make([]float32, 16)
+	for i := range nans {
+		nans[i] = float32(math.NaN())
+	}
+	out := make([]float32, 16)
+	Sigmoid32(out, nans)
+	for i, v := range out {
+		if !math.IsNaN(float64(v)) {
+			t.Fatalf("Sigmoid32 lane %d: NaN did not propagate (got %g)", i, v)
+		}
+	}
+	Tanh32(out, nans)
+	for i, v := range out {
+		if !math.IsNaN(float64(v)) {
+			t.Fatalf("Tanh32 lane %d: NaN did not propagate (got %g)", i, v)
+		}
+	}
+
+	// In-place aliasing (dst == x) is part of the contract.
+	alias := append([]float32(nil), xs[:33]...)
+	want := make([]float32, 33)
+	Tanh32(want, alias)
+	Tanh32(alias, alias)
+	for i := range alias {
+		if alias[i] != want[i] {
+			t.Fatalf("Tanh32 in place differs at %d: %g vs %g", i, alias[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package vecmath
+
+// Float32 twins of the sparse level-1 kernels in sparse.go. Indices stay
+// int32 (the on-the-wire coordinate width); only the values change
+// precision. ScatterAXPY32 keeps the strict in-order entry processing of
+// its f64 twin, so duplicate indices accumulate sequentially on both
+// paths.
+
+// sparseLanes32 is the entry count each f32 assembly loop iteration
+// consumes (one 8-wide YMM vector of float32 values plus eight int32
+// indices); tails shorter than this run in pure Go.
+const sparseLanes32 = 8
+
+// ScatterAXPY32 computes y[idx[j]] += alpha * val[j] for every sparse
+// entry, in order.
+func ScatterAXPY32(alpha float32, idx []int32, val []float32, y []float32) {
+	checkLen("ScatterAXPY32", len(idx), len(val))
+	n := len(idx)
+	i := 0
+	if useAVX && n >= sparseLanes32 {
+		head := n &^ (sparseLanes32 - 1)
+		scatterAXPY32Kernel(alpha, &idx[0], &val[0], &y[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		y[idx[i]] += alpha * val[i]
+	}
+}
+
+// GatherDot32 returns Σ_j val[j] * y[idx[j]] without densifying. Like
+// GatherDot, the asm path reduces its lanes pairwise at the end, so the
+// summation order differs from the scalar fallback.
+func GatherDot32(idx []int32, val, y []float32) float32 {
+	checkLen("GatherDot32", len(idx), len(val))
+	n := len(idx)
+	var s float32
+	i := 0
+	if useAVX && n >= sparseLanes32 {
+		head := n &^ (sparseLanes32 - 1)
+		s = gatherDot32Kernel(&idx[0], &val[0], &y[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		s += val[i] * y[idx[i]]
+	}
+	return s
+}

@@ -1,0 +1,20 @@
+//go:build amd64 && !noasm
+
+package vecmath
+
+// scatterAXPY32Kernel accumulates y[idx[j]] += alpha*val[j] over the
+// first n entries, processing them in order (duplicate indices
+// accumulate sequentially); n must be a positive multiple of
+// sparseLanes32. The products are formed with one AVX2 vector multiply
+// per eight entries and spilled to a stack buffer; the scatter itself is
+// scalar (AVX2 has no scatter instruction).
+//
+//go:noescape
+func scatterAXPY32Kernel(alpha float32, idx *int32, val, y *float32, n int)
+
+// gatherDot32Kernel returns Σ val[j]*y[idx[j]] over the first n entries
+// with AVX2+FMA (eight gathered y values per step, staged through a
+// stack buffer); n must be a positive multiple of sparseLanes32.
+//
+//go:noescape
+func gatherDot32Kernel(idx *int32, val, y *float32, n int) float32

@@ -1,0 +1,135 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Float32 sparse AVX2 kernels (see sparse32.go). Each iteration consumes
+// eight (int32 index, float32 value) entries. Unlike the float64 kernels,
+// which shuffle individual lanes out of the YMM registers, these stage
+// the eight-lane vector through a 32-byte stack buffer: with eight lanes
+// per register the extract/permute chain would cost more than the
+// round-trip through L1.
+
+// func scatterAXPY32Kernel(alpha float32, idx *int32, val, y *float32, n int)
+// y[idx[j]] += alpha*val[j], entries processed strictly in order so
+// duplicate indices accumulate sequentially (scalar semantics).
+TEXT ·scatterAXPY32Kernel(SB), NOSPLIT, $32-40
+	VBROADCASTSS alpha+0(FP), Y15
+	MOVQ         idx+8(FP), R8
+	MOVQ         val+16(FP), R9
+	MOVQ         y+24(FP), DI
+	MOVQ         n+32(FP), CX
+
+scatter32loop:
+	VMOVUPS (R9), Y0
+	VMULPS  Y15, Y0, Y0
+	VMOVUPS Y0, prod-32(SP)
+
+	MOVLQSX 0(R8), R10
+	VMOVSS  prod-32(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 4(R8), R10
+	VMOVSS  prod-28(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 8(R8), R10
+	VMOVSS  prod-24(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 12(R8), R10
+	VMOVSS  prod-20(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 16(R8), R10
+	VMOVSS  prod-16(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 20(R8), R10
+	VMOVSS  prod-12(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 24(R8), R10
+	VMOVSS  prod-8(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	MOVLQSX 28(R8), R10
+	VMOVSS  prod-4(SP), X1
+	VMOVSS  (DI)(R10*4), X2
+	VADDSS  X1, X2, X2
+	VMOVSS  X2, (DI)(R10*4)
+
+	ADDQ $32, R8
+	ADDQ $32, R9
+	SUBQ $8, CX
+	JNZ  scatter32loop
+
+	VZEROUPPER
+	RET
+
+// func gatherDot32Kernel(idx *int32, val, y *float32, n int) float32
+// Returns Σ val[j]*y[idx[j]] with eight-lane FMA accumulation; the lanes
+// are reduced pairwise at the end, so the summation order differs from
+// the scalar fallback (documented in sparse32.go).
+TEXT ·gatherDot32Kernel(SB), NOSPLIT, $32-36
+	MOVQ   idx+0(FP), R8
+	MOVQ   val+8(FP), R9
+	MOVQ   y+16(FP), DI
+	MOVQ   n+24(FP), CX
+	VXORPS Y0, Y0, Y0
+
+gather32loop:
+	MOVLQSX 0(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-32(SP)
+	MOVLQSX 4(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-28(SP)
+	MOVLQSX 8(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-24(SP)
+	MOVLQSX 12(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-20(SP)
+	MOVLQSX 16(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-16(SP)
+	MOVLQSX 20(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-12(SP)
+	MOVLQSX 24(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-8(SP)
+	MOVLQSX 28(R8), R10
+	MOVL    (DI)(R10*4), R11
+	MOVL    R11, gath-4(SP)
+
+	VMOVUPS     gath-32(SP), Y1
+	VMOVUPS     (R9), Y2
+	VFMADD231PS Y1, Y2, Y0
+
+	ADDQ $32, R8
+	ADDQ $32, R9
+	SUBQ $8, CX
+	JNZ  gather32loop
+
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+32(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64 || noasm
+
+package vecmath
+
+func scatterAXPY32Kernel(alpha float32, idx *int32, val, y *float32, n int) {
+	panic("vecmath: assembly kernel without asm support")
+}
+
+func gatherDot32Kernel(idx *int32, val, y *float32, n int) float32 {
+	panic("vecmath: assembly kernel without asm support")
+}

@@ -1,0 +1,120 @@
+package vecmath
+
+import "math"
+
+// Float32 level-1 mirrors of the hot kernels in vecmath.go, used by the
+// fp32 training path (Config.DType=f32). Only the kernels on the local
+// training hot path get f32 twins: elementwise update/step kernels here,
+// the GEMM family in matrix32.go, the fused step kernels in fused32.go,
+// and the sparse aggregation kernels in sparse32.go. Everything on the
+// server side (aggregation, robust statistics, FedOpt moments) stays
+// float64 — client updates are widened once at the upload boundary — so
+// the f32 surface is deliberately small.
+//
+// Widen and Narrow are the only conversion points; both are exact in the
+// direction that matters (every float32 is exactly representable as a
+// float64, and Narrow(Widen(x)) == x), which is what lets the fl layer
+// round-trip hook state through float64 bridge buffers without drift.
+
+// Zero32 sets every element of x to 0.
+func Zero32(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Add32 computes dst[i] = a[i] + b[i]. dst may alias a or b. The AVX2
+// head produces the same bits as the scalar tail (plain adds, no FMA),
+// so Add32 results do not depend on the asm/noasm build.
+func Add32(dst, a, b []float32) {
+	checkLen("Add32", len(a), len(b))
+	checkLen("Add32", len(dst), len(a))
+	n := len(dst)
+	i := 0
+	if useAVX && n >= fusedLanes32 {
+		head := n &^ (fusedLanes32 - 1)
+		add32Kernel(&a[0], &b[0], &dst[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub32 computes dst[i] = a[i] - b[i]. dst may alias a or b.
+func Sub32(dst, a, b []float32) {
+	checkLen("Sub32", len(a), len(b))
+	checkLen("Sub32", len(dst), len(a))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// AXPY32 computes y[i] += alpha * x[i]. The assembly head uses FMA, so
+// (as with the other fused kernels) results match the pure-Go tail only
+// to within one rounding of the product term.
+func AXPY32(alpha float32, x, y []float32) {
+	checkLen("AXPY32", len(x), len(y))
+	n := len(x)
+	i := 0
+	if useAVX && n >= fusedLanes32 {
+		head := n &^ (fusedLanes32 - 1)
+		axpy32Kernel(alpha, &x[0], &y[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale32 computes x[i] *= alpha in place.
+func Scale32(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot32 returns the inner product of a and b, accumulated in float32
+// (AVX2+FMA assembly on amd64, 16 lanes per iteration). Like the other
+// assembly-backed kernels the summation order differs between the asm and
+// fallback paths, so results are only reproducible within one process.
+func Dot32(a, b []float32) float32 {
+	checkLen("Dot32", len(a), len(b))
+	n := len(a)
+	var s float32
+	i := 0
+	if useAVX && n >= fusedLanes32 {
+		head := n &^ (fusedLanes32 - 1)
+		s = dot32Kernel(&a[0], &b[0], head)
+		i = head
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm232 returns the Euclidean norm of x. The sum of squares is taken in
+// float32; callers needing overflow-safe norms should widen and use
+// Norm2Safe.
+func Norm232(x []float32) float32 {
+	return float32(math.Sqrt(float64(Dot32(x, x))))
+}
+
+// Widen converts x into dst element-wise (exact: every float32 value is
+// representable as a float64).
+func Widen(dst []float64, x []float32) {
+	checkLen("Widen", len(dst), len(x))
+	for i, v := range x {
+		dst[i] = float64(v)
+	}
+}
+
+// Narrow converts x into dst element-wise, rounding to nearest-even.
+// Narrow∘Widen is the identity, which the fl bridge buffers rely on.
+func Narrow(dst []float32, x []float64) {
+	checkLen("Narrow", len(dst), len(x))
+	for i, v := range x {
+		dst[i] = float32(v)
+	}
+}
