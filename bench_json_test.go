@@ -2,30 +2,25 @@
 // (defer recordBench(b)() as its first statement) contributes one record,
 // and TestMain persists them to results/BENCH_results.json after the run,
 // so the perf trajectory of the substrate is tracked across PRs by diffing
-// a small JSON file instead of parsing -bench output.
+// a small JSON file instead of parsing -bench output. The record layout
+// and the merge-on-write live in internal/benchjson, shared with the
+// cmd/benchdiff gate.
 package taco_test
 
 import (
-	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"testing"
-)
 
-// benchResult is one benchmark's record at its final (largest-N) round.
-type benchResult struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
+	"repro/internal/benchjson"
+)
 
 var (
 	benchResMu sync.Mutex
-	benchRes   = map[string]benchResult{}
+	benchRes   = map[string]benchjson.Record{}
+	benchExtra = map[string]map[string]float64{}
 )
 
 // recordBench captures a benchmark's timing and allocation rates. Use as
@@ -47,7 +42,7 @@ func recordBench(b *testing.B) func() {
 		runtime.ReadMemStats(&m1)
 		benchResMu.Lock()
 		defer benchResMu.Unlock()
-		benchRes[b.Name()] = benchResult{
+		benchRes[b.Name()] = benchjson.Record{
 			Name:        b.Name(),
 			N:           b.N,
 			NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
@@ -57,45 +52,44 @@ func recordBench(b *testing.B) func() {
 	}
 }
 
+// recordBenchMetric attaches a named throughput figure (updates_per_sec,
+// rounds_per_sec, ...) to the benchmark's persisted record, alongside the
+// same value reported to the -bench output via b.ReportMetric. Later
+// calls for the same key overwrite, so the final (largest-N) round wins,
+// matching recordBench.
+func recordBenchMetric(b *testing.B, key string, v float64) {
+	b.ReportMetric(v, key)
+	benchResMu.Lock()
+	defer benchResMu.Unlock()
+	m := benchExtra[b.Name()]
+	if m == nil {
+		m = map[string]float64{}
+		benchExtra[b.Name()] = m
+	}
+	m[key] = v
+}
+
 // benchResultsPath is committed (exempted from the results/ gitignore)
 // so the perf trajectory is diffable across PRs.
 const benchResultsPath = "results/BENCH_results.json"
 
-// flushBenchResults merges the collected records into benchResultsPath:
-// benchmarks that ran overwrite their previous record, the rest keep
-// theirs, so a filtered run (CI's smoke step) never discards the full
-// file. No-op when no benchmark ran (plain `go test`).
+// flushBenchResults merges the collected records into benchResultsPath.
+// No-op when no benchmark ran (plain `go test`); a write failure or a
+// corrupt existing file is reported, not swallowed.
 func flushBenchResults() {
 	benchResMu.Lock()
 	defer benchResMu.Unlock()
-	if len(benchRes) == 0 {
-		return
-	}
-	merged := map[string]benchResult{}
-	if data, err := os.ReadFile(benchResultsPath); err == nil {
-		var prev []benchResult
-		if json.Unmarshal(data, &prev) == nil {
-			for _, r := range prev {
-				merged[r.Name] = r
-			}
+	for name, extra := range benchExtra {
+		r, ok := benchRes[name]
+		if !ok {
+			continue
 		}
+		r.Extra = extra
+		benchRes[name] = r
 	}
-	for name, r := range benchRes {
-		merged[name] = r
+	if err := benchjson.Flush(benchResultsPath, benchRes); err != nil {
+		fmt.Fprintln(os.Stderr, "bench results not persisted:", err)
 	}
-	out := make([]benchResult, 0, len(merged))
-	for _, r := range merged {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	if err := os.MkdirAll("results", 0o755); err != nil {
-		return
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return
-	}
-	_ = os.WriteFile(benchResultsPath, append(data, '\n'), 0o644)
 }
 
 func TestMain(m *testing.M) {

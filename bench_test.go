@@ -111,6 +111,11 @@ func BenchmarkStragglerStudy(b *testing.B) { benchArtifact(b, "straggler") }
 // the slot-pooled training substrate (DESIGN.md §5).
 func BenchmarkScale1k(b *testing.B) { benchArtifact(b, "scale1k") }
 
+// BenchmarkScale100k runs the hundred-thousand-client tiled-fleet study
+// (Profile.FleetMultiplier, DESIGN.md §11); BenchmarkThroughput100k
+// reports the same fleet's rounds/sec and updates/sec figures.
+func BenchmarkScale100k(b *testing.B) { benchArtifact(b, "scale100k") }
+
 // BenchmarkRobustness runs the client-corruption attack grid (DESIGN.md
 // §6): every injector kind × FedAvg/Scaffold/FoolsGold/TACO, reporting
 // per-attack honest-vs-corrupt aggregation weight mass and detection P/R.

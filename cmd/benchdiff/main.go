@@ -21,30 +21,22 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
-)
 
-// benchResult mirrors the record layout of results/BENCH_results.json
-// (bench_json_test.go).
-type benchResult struct {
-	Name        string  `json:"name"`
-	N           int     `json:"n"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"b_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-}
+	"repro/internal/benchjson"
+)
 
 // defaultPins are the kernel families whose ns/op and allocs/op the gate
 // watches: the compute substrate's GEMM and gradient paths, the fused and
-// sparse vector kernels, and the uplink codecs. Experiment-grade
-// benchmarks (whole training grids) are deliberately not pinned — their
-// runtimes swing with scheduling, not kernel regressions.
-const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity,BenchmarkAggStack"
+// sparse vector kernels, the uplink codecs, and the wire frame/payload
+// marshalling. Experiment-grade benchmarks (whole training grids and the
+// loopback throughput runs) are deliberately not pinned — their runtimes
+// swing with scheduling, not kernel regressions.
+const defaultPins = "BenchmarkGradEval,BenchmarkGEMM,BenchmarkCodec,BenchmarkSparseAggregate,BenchmarkAXPY,BenchmarkCosineSimilarity,BenchmarkAggStack,BenchmarkWirePayload,BenchmarkWireFrame"
 
 // gate holds the comparison thresholds.
 type gate struct {
@@ -70,7 +62,7 @@ type diffLine struct {
 
 // compare gates every fresh benchmark that matches a pinned prefix and
 // exists in the baseline, returning one verdict per compared entry.
-func compare(baseline, fresh map[string]benchResult, prefixes []string, g gate) []diffLine {
+func compare(baseline, fresh map[string]benchjson.Record, prefixes []string, g gate) []diffLine {
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
 		names = append(names, name)
@@ -133,12 +125,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline is required")
 		os.Exit(2)
 	}
-	baseline, err := load(*baselinePath)
+	baseline, err := benchjson.Load(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	fresh, err := load(*freshPath)
+	fresh, err := benchjson.Load(*freshPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -171,21 +163,4 @@ func pinned(name string, prefixes []string) bool {
 		}
 	}
 	return false
-}
-
-// load reads one bench-results file into a by-name map.
-func load(path string) (map[string]benchResult, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var records []benchResult
-	if err := json.Unmarshal(data, &records); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	out := make(map[string]benchResult, len(records))
-	for _, r := range records {
-		out[r.Name] = r
-	}
-	return out, nil
 }

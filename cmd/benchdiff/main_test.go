@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchjson"
 )
 
 func TestPinned(t *testing.T) {
@@ -27,13 +29,13 @@ func TestPinned(t *testing.T) {
 func TestCompareGates(t *testing.T) {
 	g := gate{threshold: 0.25, minNs: 1000, allocSlack: 16}
 	prefixes := []string{"BenchmarkGEMM", "BenchmarkAXPY"}
-	baseline := map[string]benchResult{
+	baseline := map[string]benchjson.Record{
 		"BenchmarkGEMM/square64": {Name: "BenchmarkGEMM/square64", NsPerOp: 100000, AllocsPerOp: 0},
 		"BenchmarkAXPY":          {Name: "BenchmarkAXPY", NsPerOp: 2000, AllocsPerOp: 2},
 		"BenchmarkGEMM/fast":     {Name: "BenchmarkGEMM/fast", NsPerOp: 500, AllocsPerOp: 0},
 		"BenchmarkGEMM/gone":     {Name: "BenchmarkGEMM/gone", NsPerOp: 100000},
 	}
-	fresh := map[string]benchResult{
+	fresh := map[string]benchjson.Record{
 		// Within both gates.
 		"BenchmarkGEMM/square64": {Name: "BenchmarkGEMM/square64", NsPerOp: 110000, AllocsPerOp: 8},
 		// Timing fine, but 30 new allocs/op blows the slack.
@@ -75,7 +77,7 @@ func TestCompareGates(t *testing.T) {
 	}
 
 	// A pure timing regression past the threshold fails on its own.
-	fresh["BenchmarkGEMM/square64"] = benchResult{Name: "BenchmarkGEMM/square64", NsPerOp: 140000}
+	fresh["BenchmarkGEMM/square64"] = benchjson.Record{Name: "BenchmarkGEMM/square64", NsPerOp: 140000}
 	lines = compare(baseline, fresh, prefixes, g)
 	for _, l := range lines {
 		if l.name == "BenchmarkGEMM/square64" && !l.regressed {
@@ -89,19 +91,19 @@ func TestLoad(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`[{"name":"BenchmarkX","n":3,"ns_per_op":42.5}]`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	m, err := load(path)
+	m, err := benchjson.Load(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r, ok := m["BenchmarkX"]; !ok || r.NsPerOp != 42.5 || r.N != 3 {
 		t.Fatalf("load = %+v", m)
 	}
-	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, err := benchjson.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file must error")
 	}
 	bad := filepath.Join(t.TempDir(), "bad.json")
 	os.WriteFile(bad, []byte("{"), 0o644)
-	if _, err := load(bad); err == nil {
+	if _, err := benchjson.Load(bad); err == nil {
 		t.Fatal("malformed JSON must error")
 	}
 }

@@ -19,9 +19,14 @@ type FedAvg struct {
 func NewFedAvg() *FedAvg { return &FedAvg{} }
 
 var _ fl.Algorithm = (*FedAvg)(nil)
+var _ fl.WireSafe = (*FedAvg)(nil)
 
 // Name implements fl.Algorithm.
 func (a *FedAvg) Name() string { return "FedAvg" }
+
+// WireSafe marks FedAvg runnable under fl.Serve: its client hooks read
+// nothing but the dispatched global model.
+func (a *FedAvg) WireSafe() {}
 
 // Aggregate implements Eq. (6) with ∆^{t+1} = Σ p_i ∆_i/(K·ηl).
 func (a *FedAvg) Aggregate(s *fl.ServerCtx, updates []fl.Update) {

@@ -19,9 +19,14 @@ type FedProx struct {
 func NewFedProx(zeta float64) *FedProx { return &FedProx{Zeta: zeta} }
 
 var _ fl.Algorithm = (*FedProx)(nil)
+var _ fl.WireSafe = (*FedProx)(nil)
 
 // Name implements fl.Algorithm.
 func (a *FedProx) Name() string { return "FedProx" }
+
+// WireSafe marks FedProx runnable under fl.Serve: the proximal pull is a
+// pure function of the local trajectory and the dispatched w^t.
+func (a *FedProx) WireSafe() {}
 
 // GradAdjust adds the proximal gradient ζ(w_{i,k} − w^t).
 func (a *FedProx) GradAdjust(ctx *fl.StepCtx) {

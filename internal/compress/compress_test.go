@@ -376,3 +376,72 @@ func randVec(r *rng.RNG, d int) []float64 {
 	}
 	return x
 }
+
+// TestTopKDropsNaN pins the drop-NaN contract (see the TopK doc comment):
+// NaN coordinates are never selected into the top-k — not by magnitude,
+// not through a threshold tie, and not on the keep-everything fast path —
+// so they never reach the wire, while ±Inf propagates as a genuine
+// largest-magnitude coordinate.
+func TestTopKDropsNaN(t *testing.T) {
+	scratch := make([]float64, 16)
+
+	// A NaN among large finite values must not displace any of them.
+	c := &TopK{Frac: 0.5}
+	x := []float64{5, math.NaN(), -4, 0.1, 3, 0.2, -2, 0.3}
+	var p Payload
+	c.Encode(&p, x, nil, scratch)
+	wantIdx := []int32{0, 2, 4, 6} // |5|, |-4|, |3|, |-2|
+	if len(p.Idx) != len(wantIdx) {
+		t.Fatalf("kept %d coords %v, want %v", len(p.Idx), p.Idx, wantIdx)
+	}
+	for j, i := range wantIdx {
+		if p.Idx[j] != i {
+			t.Fatalf("kept indices %v, want %v", p.Idx, wantIdx)
+		}
+	}
+
+	// The keep-everything fast path (k == d) drops NaNs too.
+	all := &TopK{Frac: 1}
+	c.Grow(&p, len(x))
+	all.Encode(&p, x, nil, scratch)
+	for j, i := range p.Idx {
+		if math.IsNaN(p.Val[j]) {
+			t.Fatalf("k=d path transmitted NaN at index %d", i)
+		}
+	}
+	if len(p.Idx) != len(x)-1 {
+		t.Fatalf("k=d path kept %d of %d coords, want %d", len(p.Idx), len(x), len(x)-1)
+	}
+
+	// A zero threshold with spare tie slots must not emit a NaN either.
+	y := []float64{0, math.NaN(), 0, 1}
+	half := &TopK{Frac: 0.75} // k = 3 > one positive coord
+	half.Encode(&p, y, nil, scratch)
+	for j := range p.Idx {
+		if math.IsNaN(p.Val[j]) {
+			t.Fatal("tie fill transmitted NaN")
+		}
+	}
+
+	// All-NaN input: empty payload, zero decode.
+	z := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
+	half.Encode(&p, z, nil, scratch)
+	if len(p.Idx) != 0 {
+		t.Fatalf("all-NaN input kept %d coords", len(p.Idx))
+	}
+	dst := make([]float64, len(z))
+	half.Decode(dst, &p)
+	for i, v := range dst {
+		if v != 0 {
+			t.Fatalf("all-NaN decode yielded %v at %d", v, i)
+		}
+	}
+
+	// +Inf is a genuine magnitude and must still be selected first.
+	w := []float64{1, math.Inf(1), -3, 2}
+	one := &TopK{Frac: 0.25} // k = 1
+	one.Encode(&p, w, nil, scratch)
+	if len(p.Idx) != 1 || p.Idx[0] != 1 || !math.IsInf(p.Val[0], 1) {
+		t.Fatalf("Inf not selected: idx %v val %v", p.Idx, p.Val)
+	}
+}

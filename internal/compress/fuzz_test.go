@@ -61,10 +61,30 @@ func FuzzCodecRoundtrip(f *testing.F) {
 				}
 			}
 		}
-		// The error-feedback wrapper must be just as total.
+		// TopK's drop-NaN contract: a NaN coordinate is never selected, so
+		// no transmitted value is NaN and every NaN position decodes to 0.
+		if p.Form == KindTopK {
+			for j, v := range p.Val {
+				if math.IsNaN(v) {
+					t.Fatalf("topk transmitted NaN at payload slot %d (index %d)", j, p.Idx[j])
+				}
+			}
+			for i, v := range x {
+				if math.IsNaN(v) && dst[i] != 0 {
+					t.Fatalf("topk NaN coordinate %d decoded to %v, want 0", i, dst[i])
+				}
+			}
+		}
+		// The error-feedback wrapper must be just as total, and its residual
+		// must come out finite whatever the input (the reset contract).
 		e := make([]float64, d)
 		copyX := make([]float64, d)
 		copy(copyX, x)
 		EncodeEF(c, &p, copyX, e, rng.New(uint64(kind)), scratch)
+		for i, v := range e {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: EncodeEF left non-finite residual %v at %d", c.Name(), v, i)
+			}
+		}
 	})
 }

@@ -13,6 +13,16 @@ import (
 // selection is fully deterministic: the k-th magnitude is found by
 // median-of-three quickselect over a caller-provided scratch copy, and
 // ties at the threshold are broken by the smallest index.
+//
+// Non-finite contract: NaN coordinates are dropped — never selected,
+// never transmitted — so one poisoned coordinate cannot claim a top-k
+// slot every round and spread NaN through aggregation before the
+// divergence guard can attribute the halt; the payload then carries
+// fewer than k pairs and the decode yields 0 at the dropped positions
+// (EncodeEF's residual reset discards the matching unrecoverable
+// residual mass). ±Inf propagates: it is a genuine magnitude, sorts
+// above everything finite, and arrives at the server where the
+// divergence guard halts the run with the right attribution.
 type TopK struct {
 	// Frac is the kept-coordinate fraction, in (0, 1].
 	Frac float64
@@ -39,11 +49,14 @@ func (c *TopK) Grow(p *Payload, d int) {
 }
 
 // absTotal maps a coordinate to its selection magnitude under a total
-// order: NaN sorts as +Inf (a NaN coordinate is "infinitely surprising"
-// and always kept), so the quickselect partition always makes progress.
+// order: NaN maps to 0 so the quickselect partition always makes progress
+// (no NaN ever reaches the comparison loops). NaN coordinates are
+// additionally skipped by every emit loop — a zero magnitude could still
+// win a tie slot when the threshold is 0 — which implements the drop-NaN
+// contract documented on TopK.
 func absTotal(v float64) float64 {
 	if math.IsNaN(v) {
-		return math.Inf(1)
+		return 0
 	}
 	return math.Abs(v)
 }
@@ -59,6 +72,9 @@ func (c *TopK) Encode(p *Payload, x []float64, _ *rng.RNG, scratch []float64) {
 	idx, val := p.Idx[:0], p.Val[:0]
 	if k == d {
 		for i, v := range x {
+			if math.IsNaN(v) {
+				continue
+			}
 			idx = append(idx, int32(i))
 			val = append(val, v)
 		}
@@ -81,6 +97,12 @@ func (c *TopK) Encode(p *Payload, x []float64, _ *rng.RNG, scratch []float64) {
 		}
 	}
 	for i, v := range x {
+		if math.IsNaN(v) {
+			// A NaN holds a rank (its 0 magnitude went through the
+			// selection) but is dropped at emission, so the payload may
+			// carry fewer than k pairs.
+			continue
+		}
 		m := absTotal(v)
 		if m > tau {
 			idx = append(idx, int32(i))

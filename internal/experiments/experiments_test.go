@@ -97,7 +97,7 @@ func TestRunnerCaches(t *testing.T) {
 
 func TestRegistryIDs(t *testing.T) {
 	ids := IDs()
-	want := []string{"compression", "faults", "fedopt", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
+	want := []string{"compression", "faults", "fedopt", "fig2", "fig4", "fig5", "fig6", "fig7", "robustness", "scale100k", "scale1k", "straggler", "table1", "table2", "table3", "table5", "table6", "table7", "table8"}
 	if strings.Join(ids, ",") != strings.Join(want, ",") {
 		t.Fatalf("IDs() = %v, want %v", ids, want)
 	}

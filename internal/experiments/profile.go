@@ -72,6 +72,14 @@ type Profile struct {
 	DirPhi float64
 	// DataScale picks the synthetic dataset size.
 	DataScale dataset.Scale
+	// FleetMultiplier tiles the partitioned shards to simulate fleets far
+	// larger than the dataset can uniquely shard: Clients distinct shards
+	// are partitioned once and replicated (by pointer, so data stays
+	// O(Clients)) until the fleet has Clients×FleetMultiplier clients.
+	// Replicas share bytes but not behavior — every client draws its own
+	// sampling stream — which is what the 100k-client scale study runs on.
+	// 0 or 1 means no tiling.
+	FleetMultiplier int
 }
 
 // SweepDatasets lists the six datasets of Table V in paper order.
@@ -160,7 +168,15 @@ func (p Profile) Materialize(seed uint64) (*fl.Config, []*dataset.Dataset, *data
 		LocalLR:    p.LocalLR,
 		Seed:       seed,
 	}
-	return cfg, part.Shards(train), test, groupOf, nil
+	shards := part.Shards(train)
+	if p.FleetMultiplier > 1 {
+		tiled := make([]*dataset.Dataset, 0, len(shards)*p.FleetMultiplier)
+		for rep := 0; rep < p.FleetMultiplier; rep++ {
+			tiled = append(tiled, shards...)
+		}
+		shards = tiled
+	}
+	return cfg, shards, test, groupOf, nil
 }
 
 // Model returns the dataset's model architecture.

@@ -39,6 +39,7 @@ var registry = map[string]Runnable{
 	// Scenario studies beyond the paper's artifacts.
 	"straggler":   func(r *Runner) ([]Artifact, error) { return one(Straggler(r)) },
 	"scale1k":     func(r *Runner) ([]Artifact, error) { return one(Scale1k(r)) },
+	"scale100k":   func(r *Runner) ([]Artifact, error) { return one(Scale100k(r)) },
 	"robustness":  func(r *Runner) ([]Artifact, error) { return one(Robustness(r)) },
 	"compression": func(r *Runner) ([]Artifact, error) { return one(Compression(r)) },
 	"faults":      func(r *Runner) ([]Artifact, error) { return one(Faults(r)) },

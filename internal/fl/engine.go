@@ -51,7 +51,7 @@ func Run(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, 
 	if err != nil {
 		return nil, err
 	}
-	defer s.pool.close()
+	defer s.exec.close()
 
 	if err := s.runAll(false); err != nil {
 		return nil, err
@@ -71,7 +71,7 @@ func Resume(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Datase
 	if err != nil {
 		return nil, err
 	}
-	defer s.pool.close()
+	defer s.exec.close()
 
 	if err := s.restore(checkpoint, true); err != nil {
 		return nil, err
@@ -97,6 +97,18 @@ func (s *scheduler) result() *Result {
 // per-round buffers (sized once here so steady-state rounds allocate
 // nothing; see the alloc regression tests).
 func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*scheduler, error) {
+	return newSchedulerExec(cfg, alg, net, shards, test, false)
+}
+
+// newSchedulerExec is newScheduler with the execution substrate made
+// explicit: remote builds a ring-only pool (no slots, no training
+// goroutines — clients train in worker processes) and leaves s.exec for
+// the caller to swap to the remote executor. Every rng derivation
+// happens identically in both modes — the derivation ORDER is the
+// determinism contract workers replay (worker.go) — so a wire run's
+// fault plan, participation draws, and quantization streams are
+// bit-identical to the in-process run's.
+func newSchedulerExec(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset, remote bool) (*scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,7 +178,12 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		return nil, err
 	}
 
-	pool := newSlotPool(net, cfg, n)
+	var pool *slotPool
+	if remote {
+		pool = newRingPool(numParams)
+	} else {
+		pool = newSlotPool(net, cfg, n)
+	}
 	if cfg.Compress.Kind != compress.KindNone {
 		// Quantization streams derive after every honest and adversary
 		// stream, so a dense-transport config draws nothing here and
@@ -219,6 +236,7 @@ func newScheduler(cfg Config, alg Algorithm, net *nn.Network, shards []*dataset.
 		updates:   make([]Update, n),
 		measured:  make([]float64, n),
 	}
+	s.exec = pool
 	s.stack, _ = alg.(*stackedAlg)
 	if plan != nil && plan.anyDispatch {
 		s.dupFlags = make([]bool, 0, n)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/baselines"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/fl"
@@ -63,44 +64,67 @@ func TestFaultsActuallyFire(t *testing.T) {
 // server ingests a duplicated update once, so a dup-only faulty run
 // reaches bit-identical final weights to the fault-free run — the
 // duplicates are visible only in DupUpdates and the uplink byte count.
+//
+// The codec dimension guards the double-charging seam specifically: a
+// duplicated delivery must be billed at the update's *encoded* size (the
+// same bytes the codec put on the wire), not the dense 8d fallback, so
+// the dup run's uplink is exactly 2× the clean run's under every codec
+// and every aggregation policy.
 func TestUplinkDupIdempotence(t *testing.T) {
 	net, shards, test := testSetup(t, 8)
+	codecs := []struct {
+		name string
+		spec compress.Spec
+	}{
+		{"dense", compress.Spec{}},
+		{"topk", compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.25}},
+		{"int8", compress.Spec{Kind: compress.KindInt8, Chunk: 64}},
+	}
 	for _, policy := range []fl.AggregationPolicy{fl.PolicySync, fl.PolicyDeadline, fl.PolicyAsync} {
-		t.Run(fmt.Sprintf("%v", policy), func(t *testing.T) {
-			clean := fl.Config{
-				Rounds: 6, LocalSteps: 4, BatchSize: 16, LocalLR: 0.05, Seed: 11,
-				Policy: policy,
-			}
-			switch policy {
-			case fl.PolicyDeadline:
-				clean.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(clean.BatchSize), clean.LocalSteps, simclock.Plain())
-			case fl.PolicyAsync:
-				clean.AsyncBuffer = 3
-			}
-			want, err := fl.Run(clean, baselines.NewFedAvg(), net, shards, test)
-			if err != nil {
-				t.Fatal(err)
-			}
+		for _, codec := range codecs {
+			t.Run(fmt.Sprintf("%v-%s", policy, codec.name), func(t *testing.T) {
+				clean := fl.Config{
+					Rounds: 6, LocalSteps: 4, BatchSize: 16, LocalLR: 0.05, Seed: 11,
+					Policy:   policy,
+					Compress: codec.spec,
+				}
+				switch policy {
+				case fl.PolicyDeadline:
+					clean.RoundDeadlineSec = 10 * simclock.RoundSeconds(net.GradFlops(clean.BatchSize), clean.LocalSteps, simclock.Plain())
+				case fl.PolicyAsync:
+					clean.AsyncBuffer = 3
+				}
+				want, err := fl.Run(clean, baselines.NewFedAvg(), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
 
-			duped := clean
-			duped.Faults = []fault.Spec{{Kind: fault.KindDup, Frac: 1}}
-			got, err := fl.Run(duped, baselines.NewFedAvg(), net, shards, test)
-			if err != nil {
-				t.Fatal(err)
-			}
-			sameParams(t, want.FinalParams, got.FinalParams)
-			if got.Run.TotalDupUpdates() == 0 {
-				t.Fatal("certain dup fault produced no duplicates")
-			}
-			var wantBytes, gotBytes int64
-			for i := range want.Run.Rounds {
-				wantBytes += want.Run.Rounds[i].UplinkBytes
-				gotBytes += got.Run.Rounds[i].UplinkBytes
-			}
-			if gotBytes != 2*wantBytes {
-				t.Fatalf("every-dispatch duplication should double uplink bytes: clean %d, duped %d", wantBytes, gotBytes)
-			}
-		})
+				duped := clean
+				duped.Faults = []fault.Spec{{Kind: fault.KindDup, Frac: 1}}
+				got, err := fl.Run(duped, baselines.NewFedAvg(), net, shards, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameParams(t, want.FinalParams, got.FinalParams)
+				if got.Run.TotalDupUpdates() == 0 {
+					t.Fatal("certain dup fault produced no duplicates")
+				}
+				var wantBytes, gotBytes int64
+				for i := range want.Run.Rounds {
+					wantBytes += want.Run.Rounds[i].UplinkBytes
+					gotBytes += got.Run.Rounds[i].UplinkBytes
+				}
+				if wantBytes == 0 {
+					t.Fatal("clean run recorded zero uplink bytes")
+				}
+				if codec.spec.Kind == compress.KindTopK && wantBytes >= int64(clean.Rounds)*int64(len(shards))*8*int64(net.NumParams()) {
+					t.Fatalf("top-k run billed dense-sized uplink: %d bytes", wantBytes)
+				}
+				if gotBytes != 2*wantBytes {
+					t.Fatalf("every-dispatch duplication should double encoded uplink bytes: clean %d, duped %d", wantBytes, gotBytes)
+				}
+			})
+		}
 	}
 }
 

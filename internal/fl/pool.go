@@ -89,9 +89,42 @@ func (t *roundTask) run(j int, sl *slot) {
 // upload is one delta-ring entry: the dense delta buffer plus a sized
 // encode buffer (the codec payload) that rides along when a codec is
 // live, so encoding an upload in steady state allocates nothing.
+//
+// loss and measured are the remote-execution backfill fields: under
+// fl.Serve, Update structs are copied into the scheduler's flight table
+// at dispatch time, before the worker's reply lands, so the reply's
+// train loss and measured wall time are written here — the one location
+// both the flight copy and the ingest goroutine can reach — and copied
+// out by the executor's settle step. The in-process executor never
+// touches them.
 type upload struct {
-	delta []float64
-	pay   compress.Payload
+	delta    []float64
+	pay      compress.Payload
+	loss     float64
+	measured float64
+}
+
+// executor runs dispatched local rounds and hands their results back to
+// the scheduler. The in-process implementation is the slot pool, which
+// computes updates synchronously inside runRound; the remote
+// implementation (serve.go) serializes dispatch frames to socket-
+// connected workers inside runRound and defers the results, which is
+// what lets round r+1's dispatch overlap round r's aggregation. The
+// seam's contract: runRound fills updates with ring-backed buffers that
+// MAY still be empty; no field of an update — Delta, Payload, TrainLoss
+// — nor its measured time may be read until settle (whole round) or
+// settleOne (one update) has returned for it, and every settled update
+// must eventually be released.
+type executor interface {
+	runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) error
+	// settle blocks until every update of the round has its results in
+	// place (position j of measured matches updates[j]).
+	settle(updates []Update, measured []float64) error
+	// settleOne blocks until one update's results are in place; measured
+	// may be nil when the caller only needs the update itself.
+	settleOne(u *Update, measured *float64) error
+	release(u *Update)
+	close()
 }
 
 // compressor is the slot pool's uplink codec state (DESIGN.md §7): the
@@ -205,14 +238,34 @@ func (p *slotPool) worker(sl *slot) {
 	}
 }
 
-// close stops the worker goroutines. The pool must be idle.
-func (p *slotPool) close() { close(p.jobs) }
+// close stops the worker goroutines. The pool must be idle. A ring-only
+// pool (newRingPool) has no workers to stop.
+func (p *slotPool) close() {
+	if p.jobs != nil {
+		close(p.jobs)
+	}
+}
+
+// settle implements executor: runRound already computed everything.
+func (p *slotPool) settle([]Update, []float64) error { return nil }
+
+// settleOne implements executor: runRound already computed everything.
+func (p *slotPool) settleOne(*Update, *float64) error { return nil }
+
+// newRingPool creates a pool that owns only the delta ring — no slots,
+// no worker goroutines, no engines. The remote executor (serve.go) uses
+// it for the server side of a wire run, where local training never
+// happens: ring entries hold the decoded uploads workers send back.
+func newRingPool(numParams int) *slotPool {
+	return &slotPool{numParams: numParams}
+}
 
 // runRound executes one round of local updates for the given client IDs
 // on the worker pool, checking a delta buffer out of the ring for each
 // update and filling updates/measured slot-by-slot (position j matches
-// ids[j]). It returns once every client's update is written.
-func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) {
+// ids[j]). It returns once every client's update is written; the error
+// is always nil (the executor seam's remote implementation can fail).
+func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) error {
 	for j, id := range ids {
 		u := p.getUpload()
 		updates[j] = Update{
@@ -244,6 +297,7 @@ func (p *slotPool) runRound(cfg *Config, alg Algorithm, clients []*client, ids [
 		p.jobs <- j
 	}
 	p.wg.Wait()
+	return nil
 }
 
 // getUpload checks a ring entry (delta buffer + sized encode buffer) out

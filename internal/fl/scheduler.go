@@ -33,11 +33,17 @@ import (
 // the upload deltas (slot-pool ring, pool.go) are all owned by the
 // scheduler and reused round over round (pinned by TestSteadyStateAllocs).
 type scheduler struct {
-	cfg      Config
-	alg      Algorithm
-	clients  []*client
-	env      *Env
-	pool     *slotPool
+	cfg     Config
+	alg     Algorithm
+	clients []*client
+	env     *Env
+	pool    *slotPool
+	// exec runs dispatched local rounds: the slot pool itself for an
+	// in-process run, the remote executor for a wire run (serve.go). Every
+	// scheduling path goes through it; s.pool remains for the ring-and-
+	// compressor state that both executors share (and for checkpointing,
+	// which the wire path rejects).
+	exec     executor
 	params   []float64
 	wPrev    []float64
 	active   []bool
@@ -211,7 +217,7 @@ func (s *scheduler) clearStackStats() {
 // them.
 func (s *scheduler) releaseDeltas(updates []Update) {
 	for i := range updates {
-		s.pool.release(&updates[i])
+		s.exec.release(&updates[i])
 	}
 }
 
@@ -404,7 +410,12 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 	updates := s.updates[:len(include)]
 	measured := s.measured[:len(include)]
 	if len(include) > 0 {
-		s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
+		if err := s.exec.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured); err != nil {
+			return false, err
+		}
+		if err := s.exec.settle(updates, measured); err != nil {
+			return false, err
+		}
 	}
 
 	if !faulty {
@@ -555,7 +566,12 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 	updates := s.updates[:len(include)]
 	measured := s.measured[:len(include)]
 	if len(include) > 0 {
-		s.pool.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured)
+		if err := s.exec.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured); err != nil {
+			return false, err
+		}
+		if err := s.exec.settle(updates, measured); err != nil {
+			return false, err
+		}
 		halt = s.aggregate(t, updates)
 	} else {
 		s.lastHonestW, s.lastCorruptW = 0, 0
@@ -622,11 +638,16 @@ type flight struct {
 // the update is computed now (execute-at-dispatch semantics) and parked
 // in the pending table until its modeled finish event fires. The upload
 // delta is a ring buffer owned by the flight until the server consumes or
-// discards it.
-func (s *scheduler) dispatch(ids []int, at float64) {
+// discards it. Under remote execution the update's results are still in
+// flight when dispatch returns — asyncStep settles each flight before
+// reading it — which is what overlaps worker compute with the server's
+// aggregation and evaluation of earlier rounds.
+func (s *scheduler) dispatch(ids []int, at float64) error {
 	updates := s.updates[:len(ids)]
 	measured := s.measured[:len(ids)]
-	s.pool.runRound(&s.cfg, s.alg, s.clients, ids, s.version, at, s.params, s.wPrev, updates, measured)
+	if err := s.exec.runRound(&s.cfg, s.alg, s.clients, ids, s.version, at, s.params, s.wPrev, updates, measured); err != nil {
+		return err
+	}
 	for j, id := range ids {
 		f := flight{
 			update:   updates[j],
@@ -644,6 +665,7 @@ func (s *scheduler) dispatch(ids []int, at float64) {
 		}
 		s.pending[id] = f
 	}
+	return nil
 }
 
 // setupAsync initializes the async state and dispatches the first wave.
@@ -654,8 +676,7 @@ func (s *scheduler) setupAsync() error {
 	if err != nil {
 		return err
 	}
-	s.dispatch(ids, 0)
-	return nil
+	return s.dispatch(ids, 0)
 }
 
 // runAsync is FedBuff-style buffered asynchronous aggregation: every
@@ -690,9 +711,17 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		f := &s.pending[id]
 		f.live = false
 		s.now = f.finish
+		// Remote execution defers results past dispatch: block here, at the
+		// modeled finish event, until this flight's reply has landed (no-op
+		// in process). Discarded flights settle too — their ring entries
+		// must not be recycled while an in-flight reply could still write
+		// into them.
+		if err := s.exec.settleOne(&f.update, &f.measured); err != nil {
+			return false, err
+		}
 		if !s.active[id] {
 			// Expelled while in flight: upload discarded, ring entry recycled.
-			s.pool.release(&f.update)
+			s.exec.release(&f.update)
 			continue
 		}
 		if f.failed {
@@ -701,7 +730,7 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 			// client is re-dispatched after its deterministic backoff
 			// (recomputing against the then-current model), or rejoins
 			// fresh once its retry budget is exhausted.
-			s.pool.release(&f.update)
+			s.exec.release(&f.update)
 			s.failStreak++
 			if s.failStreak > (s.plan.retries+2)*max(64, 8*len(s.clients)) {
 				return false, fmt.Errorf("fl: faults starved the async buffer at step %d (%d consecutive failed dispatches)", t, s.failStreak)
@@ -711,11 +740,14 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 			if attempt < s.plan.retries {
 				s.attempts[id] = attempt + 1
 				s.stepRetries++
-				s.dispatch(s.oneID[:1], s.now+s.plan.backoff(attempt, s.plan.perClient[id].r))
+				err = s.dispatch(s.oneID[:1], s.now+s.plan.backoff(attempt, s.plan.perClient[id].r))
 			} else {
 				s.attempts[id] = 0
 				s.stepDropped++
-				s.dispatch(s.oneID[:1], s.now)
+				err = s.dispatch(s.oneID[:1], s.now)
+			}
+			if err != nil {
+				return false, err
 			}
 			continue
 		}
@@ -736,7 +768,9 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		}
 		if len(s.buffer) < bufK {
 			s.oneID[0] = id
-			s.dispatch(s.oneID[:1], s.now)
+			if err := s.dispatch(s.oneID[:1], s.now); err != nil {
+				return false, err
+			}
 		} else {
 			trigger = id
 		}
@@ -760,7 +794,9 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 	s.version++
 	if trigger >= 0 && s.active[trigger] {
 		s.oneID[0] = trigger
-		s.dispatch(s.oneID[:1], s.now)
+		if err := s.dispatch(s.oneID[:1], s.now); err != nil {
+			return false, err
+		}
 	}
 	zeroed, clipped, clipNorm := s.stackStats()
 	rec := metrics.Round{

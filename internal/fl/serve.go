@@ -1,0 +1,470 @@
+package fl
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/wire"
+)
+
+// ServeOptions configures the socket-backed server side of a wire run.
+type ServeOptions struct {
+	// Workers is the number of worker processes that will connect. Each
+	// worker w owns the contiguous client range [w·n/W, (w+1)·n/W).
+	Workers int
+	// IntakeBound caps, per connection, the updates that have arrived but
+	// not yet been consumed by the scheduler before the server sends a
+	// Hold frame (explicit backpressure; a Resume follows once the
+	// scheduler drains the backlog). 0 means 256.
+	IntakeBound int
+}
+
+// serveObserve is a test hook: when set, Serve hands it the live remote
+// executor so backpressure tests can read the Hold count.
+var serveObserve func(*remoteExec)
+
+func (o ServeOptions) intakeBound() int {
+	if o.IntakeBound > 0 {
+		return o.IntakeBound
+	}
+	return 256
+}
+
+// Serve runs a federated training run with local computation executed by
+// socket-connected worker processes (cmd/flserver) instead of in-process
+// goroutines. It accepts exactly opt.Workers connections from ln, checks
+// each worker's config fingerprint, and then drives the ordinary
+// event-driven scheduler with a remote executor: dispatches serialize
+// the global model to the owning worker, replies stream back through a
+// bounded per-connection intake with Hold/Resume backpressure, and under
+// the async policy the next dispatch overlaps aggregation and
+// evaluation of earlier rounds.
+//
+// The run is bit-identical to fl.Run with the same arguments — final
+// weights, per-round losses, accuracies, and uplink accounting — because
+// workers replay the exact rng derivation order of the in-process engine
+// (worker.go) and every scheduling decision stays on the server. Only
+// measured wall times differ (they are real observations either way).
+// Configurations the wire cannot execute faithfully are rejected up
+// front (validateWire).
+func Serve(ln net.Listener, opt ServeOptions, cfg Config, alg Algorithm, network *nn.Network, shards []*dataset.Dataset, test *dataset.Dataset) (*Result, error) {
+	if opt.Workers <= 0 {
+		return nil, fmt.Errorf("fl: ServeOptions.Workers %d must be positive", opt.Workers)
+	}
+	if err := validateWire(&cfg, alg); err != nil {
+		return nil, err
+	}
+	fp := serveFingerprint(&cfg, alg.Name(), test.Name, len(shards), network.NumParams())
+	s, err := newSchedulerExec(cfg, alg, network, shards, test, true)
+	if err != nil {
+		return nil, err
+	}
+	ex := newRemoteExec(s.pool, cfg.Compress, len(shards), network.NumParams(), opt)
+	if err := ex.accept(ln, fp); err != nil {
+		ex.close()
+		return nil, err
+	}
+	s.exec = ex
+	defer ex.close()
+	if serveObserve != nil {
+		serveObserve(ex)
+	}
+	if err := s.runAll(false); err != nil {
+		return nil, err
+	}
+	return s.result(), nil
+}
+
+// serveConn is one worker connection on the server side.
+type serveConn struct {
+	c     net.Conn
+	index int
+	// wmu serializes frame writes: the scheduler goroutine writes
+	// Dispatch/Resume/Bye while an ingest goroutine may write Hold.
+	wmu  sync.Mutex
+	wbuf []byte
+	// held and unsettled are guarded by remoteExec.mu.
+	held      bool
+	unsettled int
+}
+
+// write sends one pre-framed buffer.
+func (sc *serveConn) write(frame []byte) error {
+	sc.wmu.Lock()
+	_, err := sc.c.Write(frame)
+	sc.wmu.Unlock()
+	return err
+}
+
+// writeEmpty sends a body-less frame of the given type.
+func (sc *serveConn) writeEmpty(t wire.FrameType) error {
+	sc.wmu.Lock()
+	var err error
+	sc.wbuf, err = wire.WriteFrame(sc.c, t, nil, sc.wbuf)
+	sc.wmu.Unlock()
+	return err
+}
+
+// remoteExec implements the executor seam over worker sockets. runRound
+// checks ring entries out for every dispatched client, registers them as
+// pending, and serializes one Dispatch frame per owning connection —
+// then returns, leaving the results in flight. Per-connection reader
+// goroutines decode Updates frames straight into the pending ring
+// entries; settle/settleOne block until the needed entries have landed
+// and backfill TrainLoss and the measured wall time from the ring
+// (update structs were copied at dispatch time, so the ring entry is the
+// only stable rendezvous).
+type remoteExec struct {
+	ring      *slotPool
+	codec     compress.Codec // nil for dense transport
+	wantForm  compress.Kind  // payload form every upload must carry
+	numParams int
+	bound     int
+	conns     []*serveConn
+	owner     []int // client id -> index into conns
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pend    []*upload // client id -> in-flight ring entry (nil when none)
+	arrived []bool    // client id -> reply landed
+	err     error
+	closed  bool
+	holds   int // Hold frames sent (observability + backpressure tests)
+
+	dispatchBuf []byte
+	readers     sync.WaitGroup
+}
+
+// newRemoteExec builds the executor shell; accept wires the connections.
+func newRemoteExec(ring *slotPool, spec compress.Spec, numClients, numParams int, opt ServeOptions) *remoteExec {
+	e := &remoteExec{
+		ring:      ring,
+		wantForm:  spec.Kind,
+		numParams: numParams,
+		bound:     opt.intakeBound(),
+		conns:     make([]*serveConn, opt.Workers),
+		owner:     make([]int, numClients),
+		pend:      make([]*upload, numClients),
+		arrived:   make([]bool, numClients),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	if ring.comp != nil {
+		e.codec = ring.comp.codec
+	}
+	w := opt.Workers
+	for i := 0; i < w; i++ {
+		for id := i * numClients / w; id < (i+1)*numClients/w; id++ {
+			e.owner[id] = i
+		}
+	}
+	return e
+}
+
+// accept takes opt.Workers connections off ln, validates each Hello
+// against the run fingerprint, and starts the reader goroutines.
+func (e *remoteExec) accept(ln net.Listener, fp uint64) error {
+	for got := 0; got < len(e.conns); got++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("fl: accepting worker %d/%d: %w", got, len(e.conns), err)
+		}
+		var fr wire.Frame
+		if err := wire.ReadFrame(c, &fr); err != nil {
+			c.Close()
+			return fmt.Errorf("fl: reading hello: %w", err)
+		}
+		reject := func(format string, args ...any) error {
+			msg := fmt.Sprintf(format, args...)
+			_, _ = wire.WriteFrame(c, wire.FrameReject, []byte(msg), nil)
+			c.Close()
+			return fmt.Errorf("fl: %s", msg)
+		}
+		if fr.Type != wire.FrameHello {
+			return reject("expected hello, got frame type %d", fr.Type)
+		}
+		gotFP, index, workers, err := parseHello(fr.Body)
+		if err != nil {
+			return reject("bad hello: %v", err)
+		}
+		switch {
+		case workers != len(e.conns):
+			return reject("worker expects %d workers, server has %d", workers, len(e.conns))
+		case index < 0 || index >= len(e.conns):
+			return reject("worker index %d out of range [0,%d)", index, len(e.conns))
+		case e.conns[index] != nil:
+			return reject("duplicate worker index %d", index)
+		case gotFP != fp:
+			return reject("config fingerprint mismatch: worker %016x, server %016x", gotFP, fp)
+		}
+		e.conns[index] = &serveConn{c: c, index: index}
+	}
+	for _, sc := range e.conns {
+		e.readers.Add(1)
+		go e.readLoop(sc)
+	}
+	return nil
+}
+
+// fail records the first error and wakes every waiter.
+func (e *remoteExec) fail(err error) error {
+	e.mu.Lock()
+	if e.err == nil && !e.closed {
+		e.err = err
+	}
+	err = e.err
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	if err == nil {
+		err = fmt.Errorf("fl: server shutting down")
+	}
+	return err
+}
+
+// runRound implements executor: register pending ring entries and write
+// one Dispatch frame per owning connection, without waiting for results.
+func (e *remoteExec) runRound(cfg *Config, alg Algorithm, clients []*client, ids []int, round int, now float64, global, prevGlobal []float64, updates []Update, measured []float64) error {
+	e.mu.Lock()
+	if e.err != nil {
+		err := e.err
+		e.mu.Unlock()
+		return err
+	}
+	for j, id := range ids {
+		u := e.ring.getUpload()
+		updates[j] = Update{
+			Client:     id,
+			Delta:      u.delta,
+			NumSamples: clients[id].data.Len(),
+			ring:       u,
+		}
+		if e.ring.comp != nil {
+			updates[j].Payload = &u.pay
+		}
+		e.pend[id] = u
+		e.arrived[id] = false
+	}
+	e.mu.Unlock()
+
+	for ci, sc := range e.conns {
+		cnt := 0
+		for _, id := range ids {
+			if e.owner[id] == ci {
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			continue
+		}
+		buf := wire.BeginFrame(e.dispatchBuf[:0], wire.FrameDispatch)
+		buf = wire.AppendUvarint(buf, uint64(round))
+		buf = wire.AppendUvarint(buf, uint64(cnt))
+		for _, id := range ids {
+			if e.owner[id] == ci {
+				buf = wire.AppendUvarint(buf, uint64(id))
+			}
+		}
+		buf = wire.AppendUvarint(buf, uint64(len(global)))
+		for _, v := range global {
+			buf = wire.AppendF64(buf, v)
+		}
+		wire.EndFrame(buf, 0)
+		e.dispatchBuf = buf
+		if err := sc.write(buf); err != nil {
+			return e.fail(fmt.Errorf("fl: dispatch to worker %d: %w", ci, err))
+		}
+	}
+	return nil
+}
+
+// settle implements executor: wait for the whole round's replies.
+func (e *remoteExec) settle(updates []Update, measured []float64) error {
+	for j := range updates {
+		if err := e.settleOne(&updates[j], &measured[j]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// settleOne implements executor: wait for one update's reply, then copy
+// its train loss and measured time out of the ring entry. Liveness under
+// backpressure: the server never sleeps waiting on a connection it is
+// itself holding — the Hold is lifted first, since the scheduler is by
+// definition ready to consume again.
+func (e *remoteExec) settleOne(u *Update, measured *float64) error {
+	if u.ring == nil {
+		return nil
+	}
+	id := u.Client
+	e.mu.Lock()
+	sc := e.conns[e.owner[id]]
+	for e.err == nil && e.pend[id] != nil && !e.arrived[id] {
+		if sc.held {
+			e.resumeLocked(sc)
+		}
+		e.cond.Wait()
+	}
+	if e.err != nil {
+		err := e.err
+		e.mu.Unlock()
+		return err
+	}
+	if e.pend[id] != nil {
+		e.pend[id] = nil
+		e.arrived[id] = false
+		u.TrainLoss = u.ring.loss
+		if measured != nil {
+			*measured = u.ring.measured
+		}
+		sc.unsettled--
+		if sc.held && sc.unsettled <= e.bound/2 {
+			e.resumeLocked(sc)
+		}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// resumeLocked lifts a connection's Hold (e.mu held).
+func (e *remoteExec) resumeLocked(sc *serveConn) {
+	sc.held = false
+	if err := sc.writeEmpty(wire.FrameResume); err != nil && e.err == nil && !e.closed {
+		e.err = fmt.Errorf("fl: resume to worker %d: %w", sc.index, err)
+	}
+}
+
+// release implements executor.
+func (e *remoteExec) release(u *Update) { e.ring.release(u) }
+
+// close implements executor: send Bye and wait for each worker to drain
+// and close its end (a run can finish with dispatches still in flight —
+// under async the round budget ends mid-pipeline — and closing first
+// would RST the worker's final reply mid-write). The read deadline
+// bounds the wait if a worker never drains.
+func (e *remoteExec) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, sc := range e.conns {
+		if sc == nil {
+			continue
+		}
+		_ = sc.writeEmpty(wire.FrameBye)
+		_ = sc.c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	}
+	e.readers.Wait()
+	for _, sc := range e.conns {
+		if sc != nil {
+			sc.c.Close()
+		}
+	}
+	e.ring.close()
+}
+
+// Holds reports how many Hold frames the server sent (backpressure
+// observability; the loopback tests assert it).
+func (e *remoteExec) Holds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.holds
+}
+
+// readLoop drains one worker's frames, ingesting Updates bodies straight
+// into the pending ring entries.
+func (e *remoteExec) readLoop(sc *serveConn) {
+	defer e.readers.Done()
+	var fr wire.Frame
+	var scratch compress.Payload // dense staging for uncompressed runs
+	for {
+		if err := wire.ReadFrame(sc.c, &fr); err != nil {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if !closed {
+				e.fail(fmt.Errorf("fl: worker %d: %w", sc.index, err))
+			}
+			return
+		}
+		if fr.Type != wire.FrameUpdates {
+			e.fail(fmt.Errorf("fl: worker %d sent unexpected frame type %d", sc.index, fr.Type))
+			return
+		}
+		if err := e.ingest(sc, fr.Body, &scratch); err != nil {
+			e.fail(fmt.Errorf("fl: worker %d: %w", sc.index, err))
+			return
+		}
+	}
+}
+
+// ingest decodes one Updates frame into the pending ring entries. The
+// payload decodes outside the lock — the settle contract guarantees the
+// scheduler does not touch a pending entry's buffers until arrived flips
+// — then arrival is published and backpressure evaluated.
+func (e *remoteExec) ingest(sc *serveConn, body []byte, scratch *compress.Payload) error {
+	d := wire.Dec{B: body}
+	cnt := d.Count(wire.MaxElems, 1)
+	for i := 0; i < cnt && d.Err == nil; i++ {
+		id := int(d.Uvarint())
+		loss := d.F64()
+		meas := d.F64()
+		if d.Err != nil {
+			break
+		}
+		if id < 0 || id >= len(e.pend) || e.owner[id] != sc.index {
+			return fmt.Errorf("update for client %d not owned by this worker", id)
+		}
+		e.mu.Lock()
+		u := e.pend[id]
+		stale := u == nil || e.arrived[id]
+		e.mu.Unlock()
+		if stale {
+			return fmt.Errorf("update for client %d is not in flight", id)
+		}
+		if e.codec != nil {
+			if err := wire.DecodePayload(&u.pay, &d); err != nil {
+				return err
+			}
+			if u.pay.Form != e.wantForm {
+				return fmt.Errorf("client %d payload form %q, want %q", id, u.pay.Form, e.wantForm)
+			}
+			if u.pay.N != e.numParams {
+				return fmt.Errorf("client %d payload dimension %d, want %d", id, u.pay.N, e.numParams)
+			}
+			e.codec.Decode(u.delta, &u.pay)
+		} else {
+			if err := wire.DecodePayload(scratch, &d); err != nil {
+				return err
+			}
+			if scratch.Form != compress.KindNone || scratch.N != e.numParams {
+				return fmt.Errorf("client %d dense upload form %q dimension %d, want %d raw values", id, scratch.Form, scratch.N, e.numParams)
+			}
+			copy(u.delta, scratch.Val)
+		}
+		u.loss, u.measured = loss, meas
+		e.mu.Lock()
+		e.arrived[id] = true
+		sc.unsettled++
+		if !sc.held && sc.unsettled > e.bound {
+			sc.held = true
+			e.holds++
+			if err := sc.writeEmpty(wire.FrameHold); err != nil && e.err == nil && !e.closed {
+				e.err = fmt.Errorf("fl: hold to worker %d: %w", sc.index, err)
+			}
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	if d.Err != nil {
+		return d.Err
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("%d trailing bytes in updates frame", d.Len())
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package fl
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/partition"
+	"repro/internal/rng"
+)
+
+// wireAvg is a minimal wire-safe algorithm for internal serve tests
+// (package fl cannot import internal/baselines — cycle).
+type wireAvg struct{ Base }
+
+func (wireAvg) Name() string                             { return "WireAvg" }
+func (wireAvg) Aggregate(s *ServerCtx, updates []Update) { FedAvgStep(s, updates) }
+func (wireAvg) WireSafe()                                {}
+
+// TestServeBackpressureHolds drives a loopback run with IntakeBound 1 —
+// every multi-update ingest overflows the bound — and asserts the server
+// actually sent Hold frames, the force-resume liveness rule released
+// them (the run completes), and the result still matches the in-process
+// run bit-for-bit: backpressure is flow control, never data loss.
+func TestServeBackpressureHolds(t *testing.T) {
+	train, test, err := dataset.Standard("adult", dataset.ScaleSmall, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := partition.Dirichlet(train, 8, 0.5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	network, err := dataset.Model("adult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := part.Shards(train)
+	cfg := Config{Rounds: 3, LocalSteps: 3, BatchSize: 16, LocalLR: 0.05, Seed: 11}
+
+	local, err := Run(cfg, wireAvg{}, network, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	var ex *remoteExec
+	serveObserve = func(e *remoteExec) { ex = e }
+	defer func() { serveObserve = nil }()
+
+	workerErr := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			workerErr <- err
+			return
+		}
+		workerErr <- RunWorker(conn, 0, 1, cfg, wireAvg{}, network, shards, test.Name)
+	}()
+
+	res, err := Serve(ln, ServeOptions{Workers: 1, IntakeBound: 1}, cfg, wireAvg{}, network, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if werr := <-workerErr; werr != nil {
+		t.Fatalf("worker: %v", werr)
+	}
+	if ex == nil {
+		t.Fatal("serve hook never fired")
+	}
+	if ex.Holds() == 0 {
+		t.Fatal("IntakeBound 1 never triggered a Hold frame")
+	}
+	for i := range local.FinalParams {
+		if res.FinalParams[i] != local.FinalParams[i] {
+			t.Fatalf("FinalParams[%d]: wire %v != local %v under backpressure", i, res.FinalParams[i], local.FinalParams[i])
+		}
+	}
+}

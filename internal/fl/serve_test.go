@@ -1,0 +1,219 @@
+package fl_test
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/compress"
+	"repro/internal/fault"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// runWire executes cfg over a loopback TCP socket: fl.Serve in this
+// goroutine, `workers` fl.RunWorker goroutines dialing in. Worker errors
+// fail the test.
+func runWire(t *testing.T, cfg fl.Config, workers int, opt fl.ServeOptions) *fl.Result {
+	t.Helper()
+	network, shards, test := testSetup(t, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fl.RunWorker(conn, i, workers, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+		}(i)
+	}
+	opt.Workers = workers
+	res, serveErr := fl.Serve(ln, opt, cfg, baselines.NewFedAvg(), network, shards, test)
+	ln.Close()
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("worker %d: %v", i, e)
+		}
+	}
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	return res
+}
+
+// stripMeasured clears the real wall-time fields — the only metrics a
+// wire run may legitimately differ on (both runs measure real Go time,
+// just of different processes).
+func stripMeasured(rounds []metrics.Round) []metrics.Round {
+	out := make([]metrics.Round, len(rounds))
+	for i, r := range rounds {
+		r.SlowestMeasuredSec = 0
+		r.CumMeasuredSec = 0
+		out[i] = r
+	}
+	return out
+}
+
+// assertWireGolden runs cfg in-process and over loopback and requires
+// bit-identical final weights and round metrics (measured wall times
+// excluded).
+func assertWireGolden(t *testing.T, cfg fl.Config, workers int) {
+	t.Helper()
+	network, shards, test := testSetup(t, 8)
+	local, err := fl.Run(cfg, baselines.NewFedAvg(), network, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired := runWire(t, cfg, workers, fl.ServeOptions{})
+
+	if len(wired.FinalParams) != len(local.FinalParams) {
+		t.Fatalf("param count %d != %d", len(wired.FinalParams), len(local.FinalParams))
+	}
+	for i := range local.FinalParams {
+		if wired.FinalParams[i] != local.FinalParams[i] {
+			t.Fatalf("FinalParams[%d]: wire %v != local %v (first mismatch)", i, wired.FinalParams[i], local.FinalParams[i])
+		}
+	}
+	lr, wr := stripMeasured(local.Run.Rounds), stripMeasured(wired.Run.Rounds)
+	if !reflect.DeepEqual(lr, wr) {
+		for i := range lr {
+			if i < len(wr) && !reflect.DeepEqual(lr[i], wr[i]) {
+				t.Fatalf("round %d metrics diverge:\nlocal %+v\nwire  %+v", i, lr[i], wr[i])
+			}
+		}
+		t.Fatalf("round counts diverge: local %d, wire %d", len(lr), len(wr))
+	}
+}
+
+// TestServeGoldenCodecs pins the tentpole acceptance bar: a socket-backed
+// run is bit-identical to the in-process run — same final weights, same
+// losses, same accuracies, same uplink accounting — under every payload
+// wire form (dense, varint-delta TopK, chunked int8).
+func TestServeGoldenCodecs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec compress.Spec
+	}{
+		{"dense", compress.Spec{}},
+		{"topk", compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.25}},
+		{"int8", compress.Spec{Kind: compress.KindInt8, Chunk: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickConfig()
+			cfg.Compress = tc.spec
+			assertWireGolden(t, cfg, 2)
+		})
+	}
+}
+
+// TestServeGoldenPolicies covers the two non-sync schedulers: the
+// deadline straggler cut and the pipelined async path (settleOne,
+// overlapping dispatch), plus partial participation's sparse dispatch
+// IDs, and an uneven three-way worker split.
+func TestServeGoldenPolicies(t *testing.T) {
+	t.Run("deadline", func(t *testing.T) {
+		cfg := quickConfig()
+		cfg.Policy = fl.PolicyDeadline
+		cfg.RoundDeadlineSec = 1e6
+		assertWireGolden(t, cfg, 2)
+	})
+	t.Run("async", func(t *testing.T) {
+		cfg := quickConfig()
+		cfg.Policy = fl.PolicyAsync
+		cfg.AsyncBuffer = 3
+		assertWireGolden(t, cfg, 2)
+	})
+	t.Run("participation", func(t *testing.T) {
+		cfg := quickConfig()
+		cfg.ParticipationFraction = 0.5
+		assertWireGolden(t, cfg, 2)
+	})
+	t.Run("three workers", func(t *testing.T) {
+		assertWireGolden(t, quickConfig(), 3)
+	})
+}
+
+// TestServeGoldenFaults exercises server-side fault resolution over the
+// wire: crashes retry (re-dispatching the same client, whose sampler
+// advances identically in both modes) and duplicates double the charged
+// uplink bytes — all decided from server-owned rng streams the workers
+// never see.
+func TestServeGoldenFaults(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Faults = []fault.Spec{
+		{Kind: fault.KindCrash, Frac: 0.3},
+		{Kind: fault.KindDup, Frac: 0.5},
+	}
+	assertWireGolden(t, cfg, 2)
+}
+
+// TestServeRejectsUnsafe pins validateWire: stateful algorithms and
+// checkpointing cannot run over the wire and must fail loudly up front.
+func TestServeRejectsUnsafe(t *testing.T) {
+	network, shards, test := testSetup(t, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg := quickConfig()
+	if _, err := fl.Serve(ln, fl.ServeOptions{Workers: 1}, cfg, baselines.NewScaffold(1), network, shards, test); err == nil || !strings.Contains(err.Error(), "wire-safe") {
+		t.Fatalf("stateful algorithm: got err %v, want wire-safe rejection", err)
+	}
+	cfg.CheckpointEvery = 2
+	if _, err := fl.Serve(ln, fl.ServeOptions{Workers: 1}, cfg, baselines.NewFedAvg(), network, shards, test); err == nil || !strings.Contains(err.Error(), "checkpointing") {
+		t.Fatalf("checkpointing: got err %v, want rejection", err)
+	}
+
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if err := fl.RunWorker(c1, 0, 1, quickConfig(), baselines.NewScaffold(1), network, shards, test.Name); err == nil || !strings.Contains(err.Error(), "wire-safe") {
+		t.Fatalf("worker with stateful algorithm: got err %v, want wire-safe rejection", err)
+	}
+}
+
+// TestServeFingerprintMismatch pins the handshake: a worker built from a
+// diverging config (here a different seed) is rejected before any
+// training, and both sides surface the mismatch.
+func TestServeFingerprintMismatch(t *testing.T) {
+	network, shards, test := testSetup(t, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	workerErr := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			workerErr <- err
+			return
+		}
+		bad := quickConfig()
+		bad.Seed++
+		workerErr <- fl.RunWorker(conn, 0, 1, bad, baselines.NewFedAvg(), network, shards, test.Name)
+	}()
+
+	_, err = fl.Serve(ln, fl.ServeOptions{Workers: 1}, quickConfig(), baselines.NewFedAvg(), network, shards, test)
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("serve: got err %v, want fingerprint mismatch", err)
+	}
+	if werr := <-workerErr; werr == nil || !strings.Contains(werr.Error(), "rejected") {
+		t.Fatalf("worker: got err %v, want rejection", werr)
+	}
+}

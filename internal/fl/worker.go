@@ -1,0 +1,269 @@
+package fl
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// RunWorker executes the client side of a wire run (cmd/flserver -mode
+// worker): it replays the engine's rng derivation order from the shared
+// seed, announces itself with the config fingerprint, and then trains
+// every dispatched batch on an in-process slot pool, streaming the
+// results back as Updates frames. index/workers must match the server's
+// ServeOptions — the worker owns clients [index·n/W, (index+1)·n/W).
+// The connection is closed when RunWorker returns.
+//
+// Bit-identity with fl.Run rests on the derivation ORDER contract
+// (newSchedulerExec): the worker derives init, then every client
+// sampler, then participation, then every compression stream — exactly
+// the in-process sequence — and discards the streams the server owns
+// (init, participation). Adversary and fault streams derive after these
+// on the server, so skipping them here leaves every worker-held stream
+// bit-identical to its in-process twin. Given identical streams and
+// identical training code, every delta, loss, and encoded payload
+// matches the in-process run to the bit.
+func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, network *nn.Network, shards []*dataset.Dataset, dsName string) error {
+	defer conn.Close()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := validateWire(&cfg, alg); err != nil {
+		return err
+	}
+	if workers <= 0 || index < 0 || index >= workers {
+		return fmt.Errorf("fl: worker index %d out of range [0,%d)", index, workers)
+	}
+	n := len(shards)
+	fp := serveFingerprint(&cfg, alg.Name(), dsName, n, network.NumParams())
+
+	// Replay the derivation order (see the doc comment above).
+	root := rng.New(cfg.Seed)
+	_ = root.Derive("init", 0)
+	clients := make([]*client, n)
+	dataSizes := make([]int, n)
+	for i, shard := range shards {
+		if shard.Len() == 0 {
+			return fmt.Errorf("fl: client %d has no data", i)
+		}
+		clients[i] = &client{
+			id:      i,
+			data:    shard,
+			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
+		}
+		dataSizes[i] = shard.Len()
+	}
+	_ = root.Derive("participation", 0)
+
+	env := &Env{
+		Net:        network,
+		NumClients: n,
+		NumParams:  network.NumParams(),
+		DataSizes:  dataSizes,
+		Devices:    cfg.devices(n),
+		Cfg:        cfg,
+	}
+	alg, err := wrapStack(alg, &cfg)
+	if err != nil {
+		return err
+	}
+	alg.Setup(env)
+
+	lo, hi := index*n/workers, (index+1)*n/workers
+	owned := max(1, hi-lo)
+	pool := newSlotPool(network, cfg, owned)
+	defer pool.close()
+	if cfg.Compress.Kind != compress.KindNone {
+		codec, err := cfg.Compress.Codec()
+		if err != nil {
+			return fmt.Errorf("fl: %w", err)
+		}
+		comp := &compressor{codec: codec, streams: make([]*rng.RNG, n)}
+		if cfg.isF32() {
+			comp.resid32 = make([][]float32, n)
+		} else {
+			comp.resid = make([][]float64, n)
+		}
+		for i := range comp.streams {
+			comp.streams[i] = root.Derive("compress", i)
+		}
+		pool.comp = comp
+	}
+
+	wbuf, err := wire.WriteFrame(conn, wire.FrameHello, appendHello(nil, fp, index, workers), nil)
+	if err != nil {
+		return fmt.Errorf("fl: sending hello: %w", err)
+	}
+
+	w := &workerLoop{conn: conn}
+	w.cond = sync.NewCond(&w.mu)
+	go w.readLoop()
+
+	updates := make([]Update, owned)
+	measured := make([]float64, owned)
+	for {
+		m, ok := w.next()
+		if !ok {
+			break
+		}
+		k := len(m.ids)
+		for _, id := range m.ids {
+			if id < lo || id >= hi {
+				return fmt.Errorf("fl: dispatched client %d outside owned range [%d,%d)", id, lo, hi)
+			}
+		}
+		if k > len(updates) {
+			// A client is in flight at most once under every policy, so a
+			// batch larger than the owned range is a protocol violation.
+			return fmt.Errorf("fl: dispatch of %d clients exceeds owned range size %d", k, hi-lo)
+		}
+		if err := pool.runRound(&cfg, alg, clients, m.ids, m.round, 0, m.global, m.global, updates[:k], measured[:k]); err != nil {
+			return err
+		}
+		buf := wire.BeginFrame(wbuf[:0], wire.FrameUpdates)
+		buf = wire.AppendUvarint(buf, uint64(k))
+		for j := 0; j < k; j++ {
+			buf = appendUpdateEntry(buf, &updates[j], measured[j])
+		}
+		wire.EndFrame(buf, 0)
+		wbuf = buf
+		w.waitResumed()
+		if w.stopped() {
+			// The run ended while this batch trained; the result is
+			// abandoned, not sent (the server is only waiting for EOF).
+			break
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return fmt.Errorf("fl: sending updates: %w", err)
+		}
+		for j := 0; j < k; j++ {
+			pool.release(&updates[j])
+		}
+	}
+	return w.readErr()
+}
+
+// workerLoop is RunWorker's connection state: the reader goroutine that
+// turns incoming frames into an unbounded dispatch queue (unbounded so
+// the reader NEVER blocks — a Resume frame must get through even while
+// dispatches are queued, or a held worker would deadlock; depth is
+// bounded in practice by the server's pipelining), and the Hold/Resume
+// gate the training loop blocks on before each upload.
+type workerLoop struct {
+	conn net.Conn
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*dispatchMsg
+	done  bool
+	held  bool
+	err   error
+}
+
+// next pops the oldest queued dispatch, waiting for one; ok is false
+// once the stream has ended (cleanly or not — readErr distinguishes).
+// Dispatches still queued at that point are abandoned: Bye means the run
+// completed, so the server has no use for their results.
+func (w *workerLoop) next() (*dispatchMsg, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for len(w.queue) == 0 && !w.done {
+		w.cond.Wait()
+	}
+	if w.done {
+		return nil, false
+	}
+	m := w.queue[0]
+	w.queue = w.queue[1:]
+	return m, true
+}
+
+// waitResumed blocks while the server holds this worker. Bye releases
+// the gate too: a held connection whose in-flight work the run abandoned
+// gets no Resume.
+func (w *workerLoop) waitResumed() {
+	w.mu.Lock()
+	for w.held && w.err == nil && !w.done {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// stopped reports whether the stream has ended.
+func (w *workerLoop) stopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.done
+}
+
+// readErr reports why the job stream ended: nil after a clean Bye.
+func (w *workerLoop) readErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// fail records the terminal error and releases the training loop.
+func (w *workerLoop) fail(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.done = true
+	w.held = false
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// readLoop decodes incoming frames until the stream ends. Dispatches
+// queue up behind the training loop (the queue is what the server's
+// pipelining fills); Hold/Resume flip the upload gate; Bye ends the
+// stream cleanly.
+func (w *workerLoop) readLoop() {
+	var fr wire.Frame
+	for {
+		if err := wire.ReadFrame(w.conn, &fr); err != nil {
+			w.fail(fmt.Errorf("fl: reading from server: %w", err))
+			return
+		}
+		switch fr.Type {
+		case wire.FrameDispatch:
+			m, err := parseDispatch(fr.Body)
+			if err != nil {
+				w.fail(err)
+				return
+			}
+			w.mu.Lock()
+			w.queue = append(w.queue, m)
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		case wire.FrameHold:
+			w.mu.Lock()
+			w.held = true
+			w.mu.Unlock()
+		case wire.FrameResume:
+			w.mu.Lock()
+			w.held = false
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		case wire.FrameBye:
+			w.mu.Lock()
+			w.done = true
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return
+		case wire.FrameReject:
+			w.fail(fmt.Errorf("fl: server rejected worker: %s", fr.Body))
+			return
+		default:
+			w.fail(fmt.Errorf("fl: unexpected frame type %d from server", fr.Type))
+			return
+		}
+	}
+}

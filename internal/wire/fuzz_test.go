@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// FuzzWireUnmarshal feeds arbitrary bytes to the payload decoder and the
+// frame reader. Invariants: no panic on any input; a successful payload
+// decode re-marshals to a byte stream that decodes to the same payload
+// (idempotent roundtrip — raw varints are not canonical, so first-pass
+// byte equality is not required); index and count invariants hold on every
+// accepted payload.
+func FuzzWireUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{formDense, 0})
+	f.Add([]byte{formTopK, 4, 2, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{formInt8, 2, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2})
+	for _, p := range samplePayloads(f, 96) {
+		f.Add(AppendPayload(nil, p))
+	}
+	var hdr [HeaderLen]byte
+	hdr[0], hdr[1] = Magic, Version
+	f.Add(hdr[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p compress.Payload
+		rest, err := UnmarshalPayload(&p, data)
+		if err == nil {
+			// Accepted payloads satisfy the structural invariants…
+			switch p.Form {
+			case compress.KindTopK:
+				prev := int32(-1)
+				for _, i := range p.Idx {
+					if i <= prev || int(i) >= p.N {
+						t.Fatalf("accepted topk indices not strictly ascending in range: %v (n=%d)", p.Idx, p.N)
+					}
+					prev = i
+				}
+				if len(p.Idx) != len(p.Val) || len(p.Idx) > p.N {
+					t.Fatalf("accepted topk shape k=%d vals=%d n=%d", len(p.Idx), len(p.Val), p.N)
+				}
+			case compress.KindInt8:
+				if len(p.Q) != p.N {
+					t.Fatalf("accepted int8 shape q=%d n=%d", len(p.Q), p.N)
+				}
+				if p.N > 0 {
+					want := (p.N + p.ChunkLen - 1) / p.ChunkLen
+					if len(p.Scale) != want {
+						t.Fatalf("accepted int8 scales %d, want %d", len(p.Scale), want)
+					}
+				}
+			case compress.KindNone:
+				if len(p.Val) != p.N {
+					t.Fatalf("accepted dense shape vals=%d n=%d", len(p.Val), p.N)
+				}
+			}
+			// …and re-marshal/re-decode to the same payload.
+			consumed := len(data) - len(rest)
+			enc := AppendPayload(nil, &p)
+			if len(enc) > consumed {
+				t.Fatalf("re-encode grew: %d bytes from %d consumed", len(enc), consumed)
+			}
+			var q compress.Payload
+			if _, err := UnmarshalPayload(&q, enc); err != nil {
+				t.Fatalf("re-decode of re-encode failed: %v", err)
+			}
+			enc2 := AppendPayload(nil, &q)
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("re-encode not a fixed point")
+			}
+		}
+
+		// The frame reader must never panic and must bound its allocation.
+		var fr Frame
+		_ = ReadFrame(bytes.NewReader(data), &fr)
+		if cap(fr.Body) > len(data)+growChunk {
+			t.Fatalf("frame reader allocated %d bytes from a %d-byte input", cap(fr.Body), len(data))
+		}
+	})
+}

@@ -1,0 +1,232 @@
+// Wire-path benchmarks: the payload and frame marshalling kernels the
+// benchdiff gate pins, plus loopback throughput runs at fleet scale
+// (deliberately unpinned — socket scheduling noise, not kernel signal).
+package taco_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// BenchmarkWirePayload measures one payload marshal+unmarshal round trip
+// per wire form at a model-sized vector — the per-update serialization
+// cost fl.Serve adds over the in-memory engine. Both directions must be
+// allocation-free in steady state (buffers are reused); wire_bytes_per_
+// coord tracks the varint-delta top-k form against the 12 B/coord
+// in-memory figure.
+func BenchmarkWirePayload(b *testing.B) {
+	const d = 65536
+	r := rng.New(5)
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	scratch := make([]float64, d)
+	codecs := []compress.Codec{
+		compress.None{},
+		&compress.TopK{Frac: 0.01},
+		&compress.TopK{Frac: 0.10},
+		&compress.Int8{Chunk: compress.DefaultChunk},
+	}
+	for _, c := range codecs {
+		b.Run(c.Name(), func(b *testing.B) {
+			var p, out compress.Payload
+			c.Grow(&p, d)
+			c.Encode(&p, x, rng.New(9), scratch)
+			buf := wire.AppendPayload(nil, &p)
+			defer recordBench(b)()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendPayload(buf[:0], &p)
+				if _, err := wire.UnmarshalPayload(&out, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(8*d)*float64(b.N)/1e6/b.Elapsed().Seconds(), "MB/s")
+			if k := len(p.Idx); k > 0 {
+				recordBenchMetric(b, "wire_bytes_per_coord", float64(len(buf))/float64(k))
+			}
+		})
+	}
+}
+
+// BenchmarkWireFrame measures the length-prefixed frame codec alone:
+// one WriteFrame/ReadFrame round trip of a 4 KiB body through memory.
+func BenchmarkWireFrame(b *testing.B) {
+	body := make([]byte, 4096)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	var wbuf []byte
+	var fr wire.Frame
+	rd := bytes.NewReader(nil)
+	defer recordBench(b)()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		var err error
+		wbuf, err = wire.WriteFrame(&buf, wire.FrameUpdates, body, wbuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd.Reset(buf.Bytes())
+		if err := wire.ReadFrame(rd, &fr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(body)))
+}
+
+// BenchmarkWireThroughput streams one simulated fleet's worth of top-k
+// update entries (the flserver Updates-frame layout: id, loss, measured,
+// payload) through a loopback TCP socket, batched 256 per frame, and
+// decodes every payload on the receiver — the server's ingest path
+// without training attached. updates_per_sec is the figure the 100k
+// study quotes.
+func BenchmarkWireThroughput(b *testing.B) {
+	const d, k, batch = 1024, 16, 256
+	codec := &compress.TopK{Frac: float64(k) / d}
+	r := rng.New(3)
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = r.Normal(0, 1)
+	}
+	var p compress.Payload
+	codec.Grow(&p, d)
+	codec.Encode(&p, x, rng.New(9), make([]float64, d))
+	entry := wire.AppendUvarint(nil, 42)
+	entry = wire.AppendF64(entry, 0.5)
+	entry = wire.AppendF64(entry, 0.01)
+	entry = wire.AppendPayload(entry, &p)
+
+	for _, tc := range []struct {
+		name    string
+		clients int
+	}{
+		{"100k", 100_000},
+		{"1M", 1_000_000},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			frames := (tc.clients + batch - 1) / batch
+			go func() {
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				frame := wire.BeginFrame(nil, wire.FrameUpdates)
+				frame = wire.AppendUvarint(frame, batch)
+				for j := 0; j < batch; j++ {
+					frame = append(frame, entry...)
+				}
+				wire.EndFrame(frame, 0)
+				for i := 0; i < b.N; i++ {
+					for f := 0; f < frames; f++ {
+						if _, err := conn.Write(frame); err != nil {
+							return
+						}
+					}
+				}
+			}()
+			conn, err := ln.Accept()
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer conn.Close()
+
+			defer recordBench(b)()
+			var fr wire.Frame
+			var out compress.Payload
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for f := 0; f < frames; f++ {
+					if err := wire.ReadFrame(conn, &fr); err != nil {
+						b.Fatal(err)
+					}
+					dec := wire.Dec{B: fr.Body}
+					cnt := dec.Count(wire.MaxElems, 1)
+					for j := 0; j < cnt; j++ {
+						dec.Uvarint()
+						dec.F64()
+						dec.F64()
+						if err := wire.DecodePayload(&out, &dec); err != nil {
+							b.Fatal(err)
+						}
+						total++
+					}
+					if dec.Err != nil {
+						b.Fatal(dec.Err)
+					}
+				}
+			}
+			recordBenchMetric(b, "updates_per_sec", float64(total)/b.Elapsed().Seconds())
+			b.SetBytes(int64(frames) * int64(batch) * int64(len(entry)))
+		})
+	}
+}
+
+// BenchmarkThroughput100k trains the tiled 100,000-client fleet of the
+// scale100k study (100 Dirichlet shards × 1000, 0.1% participation,
+// FedAvg) and reports whole-system server throughput: rounds_per_sec
+// and aggregated updates_per_sec, with per-round O(fleet) bookkeeping
+// included. This is the committed fleet-scale figure; kernel regressions
+// are gated separately by the pinned micro-benchmarks.
+func BenchmarkThroughput100k(b *testing.B) {
+	profile, err := experiments.ProfileFor("adult", experiments.ScaleBench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile.Clients = 100
+	profile.FleetMultiplier = 1000
+	profile.Partition = experiments.PartDirichlet
+	profile.DirPhi = 0.3
+	profile.Rounds = 3
+	profile.LocalSteps = 3
+	cfg, shards, test, _, err := profile.Materialize(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.ParticipationFraction = 0.001
+	network, err := profile.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer recordBench(b)()
+	b.ResetTimer()
+	rounds, updates := 0, 0
+	for i := 0; i < b.N; i++ {
+		alg, err := experiments.NewAlgorithm("FedAvg")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := fl.Run(*cfg, alg, network, shards, test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += len(res.Run.Rounds)
+		// Dense uplink charges exactly 8d bytes per aggregated update, so
+		// the ledger recovers the update count.
+		updates += int(res.Run.TotalUplinkBytes()) / (8 * network.NumParams())
+	}
+	sec := b.Elapsed().Seconds()
+	recordBenchMetric(b, "rounds_per_sec", float64(rounds)/sec)
+	recordBenchMetric(b, "updates_per_sec", float64(updates)/sec)
+	recordBenchMetric(b, "simulated_clients", float64(len(shards)))
+	if len(shards) != 100_000 {
+		b.Fatalf("fleet is %d clients, want 100000", len(shards))
+	}
+}
