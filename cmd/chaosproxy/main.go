@@ -1,0 +1,61 @@
+// Command chaosproxy is a deterministic fault-injecting TCP proxy for
+// flserver runs (internal/wire/chaos): it sits between workers and the
+// server and perturbs the frame stream — resets, stalls, truncation,
+// latency, reordering — so the failover machinery can be exercised
+// against a real transport without real network flakiness.
+//
+// Usage:
+//
+//	chaosproxy -listen 127.0.0.1:7071 -upstream 127.0.0.1:7070 \
+//	    -faults reset:0.01,slow:0.3:0.02 -seed 7
+//
+// Workers then dial the proxy address instead of the server. Faults are
+// drawn from rng streams seeded per connection and direction, so a run
+// is replayable given the same seed and connection order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/wire/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7071", "address to accept worker connections on")
+		upstream = flag.String("upstream", "127.0.0.1:7070", "flserver address to forward to")
+		faults   = flag.String("faults", "reset:0.01", "comma list of kind[:frac[:param]] (reset|slow|truncate|partition|reorder)")
+		seed     = flag.Uint64("seed", 7, "rng seed for the injected faults")
+	)
+	flag.Parse()
+
+	specs, err := chaos.ParseList(*faults)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	p := chaos.New(ln, *upstream, specs, *seed)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		p.Close()
+	}()
+	fmt.Fprintf(os.Stderr, "chaosproxy: %s -> %s, faults %v\n", *listen, *upstream, specs)
+	return p.Run()
+}

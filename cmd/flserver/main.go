@@ -26,7 +26,9 @@ import (
 	"math"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/compress"
@@ -54,6 +56,14 @@ func run() error {
 		index   = flag.Int("index", 0, "worker: this worker's index in [0,workers)")
 		workers = flag.Int("workers", 1, "worker process count")
 		intake  = flag.Int("intake", 0, "serve: per-connection intake bound before Hold backpressure (0 = 256)")
+
+		heartbeat  = flag.Float64("heartbeat", 0, "liveness probe seconds (0 = 5, negative disables)")
+		grace      = flag.Float64("grace", 0, "serve: seconds to wait for a dead worker to re-dial before reassigning its clients (0 = don't wait)")
+		noReassign = flag.Bool("no-reassign", false, "serve: never move clients between workers (a lost worker degrades rounds until it re-attaches)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "serve/local: checkpoint every N rounds (0 = off unless -checkpoint-file is set)")
+		ckptFile   = flag.String("checkpoint-file", "", "serve/local: file the newest checkpoint blob is written to (atomic replace)")
+		resume     = flag.String("resume", "", "serve/local: checkpoint file to restore and continue from")
+		reattach   = flag.Bool("reattach", false, "worker: re-dial and re-attach after a connection loss or server pause")
 
 		dsName      = flag.String("dataset", "adult", "dataset: "+strings.Join(dataset.Names(), "|"))
 		algName     = flag.String("alg", "FedAvg", "wire-safe algorithm: FedAvg|FedProx")
@@ -89,6 +99,37 @@ func run() error {
 		return err
 	}
 
+	// Checkpointing wiring, shared by serve and local: -checkpoint-file
+	// persists the newest blob via an atomic rename, so a killed process
+	// always leaves a complete checkpoint to -resume from. The flag set
+	// including these must match between a checkpoint writer and its
+	// resumer (the blob fingerprints the config).
+	if *ckptEvery > 0 {
+		cfg.CheckpointEvery = *ckptEvery
+	}
+	if *ckptFile != "" {
+		if cfg.CheckpointEvery == 0 {
+			cfg.CheckpointEvery = 1
+		}
+		path := *ckptFile
+		cfg.OnCheckpoint = func(round int, blob []byte) {
+			tmp := path + ".tmp"
+			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint at round %d not written: %v\n", round, err)
+				return
+			}
+			if err := os.Rename(tmp, path); err != nil {
+				fmt.Fprintf(os.Stderr, "checkpoint at round %d not written: %v\n", round, err)
+			}
+		}
+	}
+	var resumeBlob []byte
+	if *resume != "" {
+		if resumeBlob, err = os.ReadFile(*resume); err != nil {
+			return err
+		}
+	}
+
 	switch *mode {
 	case "serve":
 		ln, err := net.Listen(*network, *addr)
@@ -96,25 +137,76 @@ func run() error {
 			return err
 		}
 		defer ln.Close()
+		// SIGINT/SIGTERM pause the run at the next round boundary: a
+		// final checkpoint is written, workers get a pausing Bye telling
+		// them to re-attach, and the transcript so far still prints. A
+		// second signal kills the process the default way.
+		interrupt := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			signal.Stop(sig)
+			fmt.Fprintln(os.Stderr, "interrupted: pausing at the next round boundary")
+			close(interrupt)
+		}()
+		opt := fl.ServeOptions{
+			Workers:          *workers,
+			IntakeBound:      *intake,
+			HeartbeatSec:     *heartbeat,
+			FailoverGraceSec: *grace,
+			DisableReassign:  *noReassign,
+			Interrupt:        interrupt,
+		}
 		fmt.Fprintf(os.Stderr, "serving %s on %s %s, waiting for %d workers\n", *algName, *network, *addr, *workers)
-		res, err := fl.Serve(ln, fl.ServeOptions{Workers: *workers, IntakeBound: *intake}, *cfg, alg, net_, shards, test)
+		var res *fl.Result
+		if resumeBlob != nil {
+			res, err = fl.ServeResume(ln, opt, resumeBlob, *cfg, alg, net_, shards, test)
+		} else {
+			res, err = fl.Serve(ln, opt, *cfg, alg, net_, shards, test)
+		}
 		if err != nil {
 			return err
 		}
 		printSummary("serve", res, cfg)
 		return nil
 	case "worker":
-		conn, err := dialRetry(*network, *addr, 10*time.Second)
-		if err != nil {
-			return err
+		wh := *heartbeat
+		if wh == 0 {
+			wh = 5
+		} else if wh < 0 {
+			wh = 0
 		}
-		if err := fl.RunWorker(conn, *index, *workers, *cfg, alg, net_, shards, *dsName); err != nil {
-			return err
+		attach := 0
+		for {
+			conn, err := dialRetry(*network, *addr, 10*time.Second)
+			if err != nil {
+				return err
+			}
+			wopt := fl.WorkerOptions{Index: *index, Workers: *workers, Attach: attach, HeartbeatSec: wh}
+			err = fl.RunWorkerOpts(conn, wopt, *cfg, alg, net_, shards, *dsName)
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "worker %d/%d done\n", *index, *workers)
+				return nil
+			}
+			// A rejection is a misconfiguration (fingerprint/index): no
+			// amount of re-dialing fixes it. Everything else — connection
+			// loss, chaos resets, a pausing server — re-attaches when the
+			// flag allows.
+			if !*reattach || strings.Contains(err.Error(), "rejected") {
+				return err
+			}
+			attach++
+			fmt.Fprintf(os.Stderr, "worker %d/%d: %v; re-attaching (attempt %d)\n", *index, *workers, err, attach)
+			time.Sleep(300 * time.Millisecond)
 		}
-		fmt.Fprintf(os.Stderr, "worker %d/%d done\n", *index, *workers)
-		return nil
 	case "local":
-		res, err := fl.Run(*cfg, alg, net_, shards, test)
+		var res *fl.Result
+		if resumeBlob != nil {
+			res, err = fl.Resume(*cfg, alg, net_, shards, test, resumeBlob)
+		} else {
+			res, err = fl.Run(*cfg, alg, net_, shards, test)
+		}
 		if err != nil {
 			return err
 		}
@@ -238,8 +330,16 @@ func dialRetry(network, addr string, budget time.Duration) (net.Conn, error) {
 func printSummary(mode string, res *fl.Result, cfg *fl.Config) {
 	run := res.Run
 	for _, rec := range run.Rounds {
-		fmt.Printf("round %3d  acc %.6f  loss %.6f  t_model %.3fs\n",
-			rec.Index+1, rec.Accuracy, rec.TrainLoss, rec.SlowestModeledSec)
+		// re/rc are the failover counters (reassigned dispatches, worker
+		// reconnects) — always printed, and always zero for local runs
+		// and undisturbed serve runs, so the plain-diff bit-identity
+		// check keeps working.
+		fmt.Printf("round %3d  acc %.6f  loss %.6f  t_model %.3fs  re %d  rc %d\n",
+			rec.Index+1, rec.Accuracy, rec.TrainLoss, rec.SlowestModeledSec,
+			rec.ReassignedDispatches, rec.WorkerReconnects)
+	}
+	if run.HaltReason != "" {
+		fmt.Fprintf(os.Stderr, "run stopped at round %d: %s\n", run.HaltRound, run.HaltReason)
 	}
 	h := fnv.New64a()
 	var b [8]byte

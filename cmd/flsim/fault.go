@@ -28,6 +28,9 @@ func printFaultSummary(cfg *fl.Config, run *metrics.Run) {
 		fmt.Printf("faults %v: retries %d, lost updates %d, duplicates %d, degraded rounds %d\n",
 			cfg.Faults, run.TotalRetries(), run.TotalDroppedUpdates(), run.TotalDupUpdates(), run.DegradedRounds())
 	}
+	if re, rc := run.TotalReassignedDispatches(), run.TotalWorkerReconnects(); re > 0 || rc > 0 {
+		fmt.Printf("failover: reassigned %d in-flight dispatch(es), re-admitted %d worker reconnect(s)\n", re, rc)
+	}
 	if run.RecoveredRounds > 0 {
 		fmt.Printf("server crash: recovered %d round(s) from checkpoint (bit-identical replay)\n", run.RecoveredRounds)
 	}

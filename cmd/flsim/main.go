@@ -266,6 +266,9 @@ func run() error {
 		if !cfg.AggStack.Empty() {
 			fmt.Printf("  zeroed %d  clipped %d", rec.ZeroedUpdates, rec.ClippedUpdates)
 		}
+		if rec.ReassignedDispatches > 0 || rec.WorkerReconnects > 0 {
+			fmt.Printf("  re %d  rc %d", rec.ReassignedDispatches, rec.WorkerReconnects)
+		}
 		fmt.Println()
 		accs[i] = rec.Accuracy
 	}

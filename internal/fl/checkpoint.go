@@ -30,10 +30,13 @@ import (
 //     cursors, so the replay draws fresh batches instead of marching
 //     deterministically into the same blow-up.
 
-// Format 02 added the aggregation-stack fields to the per-round record
-// (ZeroedUpdates/ClippedUpdates/ClipNorm); 01 blobs are rejected by the
-// magic check rather than silently misparsed.
-var runCkptMagic = [8]byte{'F', 'L', 'C', 'K', 'P', 'T', '0', '2'}
+// Format 03 added the failover fields to the per-round record
+// (ReassignedDispatches/WorkerReconnects) and the wire-execution
+// sub-blob (per-client dispatch histories plus recorded globals, the
+// record a restarted server replays to rebuild worker rng streams);
+// format 02 added the aggregation-stack fields. Older blobs are
+// rejected by the magic check rather than silently misparsed.
+var runCkptMagic = [8]byte{'F', 'L', 'C', 'K', 'P', 'T', '0', '3'}
 
 // StatefulAlgorithm is implemented by algorithms that carry cross-round
 // state a checkpoint must capture — control variates (Scaffold), client
@@ -200,6 +203,20 @@ func (s *scheduler) snapshot(t int) error {
 			ckpt.WriteInts(w, s.attempts)
 		} else {
 			ckpt.WriteBool(w, false)
+		}
+	}
+
+	// Wire-execution sub-blob, last so every in-process field keeps its
+	// offset: a marker for the execution mode (a wire blob restored
+	// in-process would leave server-side sampler cursors authoritative
+	// for state that actually lives in workers, and vice versa — both
+	// are silently wrong, so cross-mode restores are rejected), then the
+	// dispatch record a restarted server needs to rebuild its workers.
+	rx, isWire := s.exec.(*remoteExec)
+	ckpt.WriteBool(w, isWire)
+	if isWire {
+		if err := rx.writeWireState(w); err != nil {
+			return fmt.Errorf("fl: checkpoint wire state: %w", err)
 		}
 	}
 
@@ -559,6 +576,22 @@ func (s *scheduler) restoreBody(r *bytes.Reader, applyRNG bool) error {
 		s.buffer = s.buffer[:0]
 		s.bufMeasured = 0
 	}
+	fromWire, err := ckpt.ReadBool(r)
+	if err != nil {
+		return err
+	}
+	rx, isWire := s.exec.(*remoteExec)
+	if fromWire && !isWire {
+		return fmt.Errorf("checkpoint was written by a wire run (fl.Serve); restore it with ServeResume")
+	}
+	if !fromWire && isWire {
+		return fmt.Errorf("checkpoint was written by an in-process run (fl.Run); restore it with Resume")
+	}
+	if fromWire {
+		if err := rx.readWireState(r); err != nil {
+			return fmt.Errorf("wire state: %w", err)
+		}
+	}
 	s.stepRetries, s.stepDropped, s.stepDups, s.stepDupBytes = 0, 0, 0, 0
 	s.failStreak = 0
 	return nil
@@ -630,6 +663,8 @@ func writeRound(w io.Writer, rec *metrics.Round) {
 	ckpt.WriteF64(w, rec.CorruptWeight)
 	ckpt.WriteU64(w, uint64(rec.UplinkBytes))
 	ckpt.WriteF64(w, rec.CompressionRatio)
+	ckpt.WriteInt(w, rec.ReassignedDispatches)
+	ckpt.WriteInt(w, rec.WorkerReconnects)
 }
 
 func readRound(r io.Reader, rec *metrics.Round) error {
@@ -672,6 +707,8 @@ func readRound(r io.Reader, rec *metrics.Round) error {
 		rec.UplinkBytes = int64(v)
 	}
 	read(&rec.CompressionRatio)
+	readi(&rec.ReassignedDispatches)
+	readi(&rec.WorkerReconnects)
 	return err
 }
 

@@ -102,6 +102,16 @@ type upload struct {
 	pay      compress.Payload
 	loss     float64
 	measured float64
+	// lost marks an in-flight dispatch whose worker died with failover
+	// exhausted (no survivor to adopt it, no reconnect within grace):
+	// settle stops waiting for it and the scheduler feeds it through the
+	// quorum/degradation path instead of aborting the run.
+	lost bool
+	// via is the connection that delivered (or, while in flight, will
+	// deliver) this upload — the reassignment-stable handle backpressure
+	// accounting needs, since the owner table may have moved the client
+	// to another worker after dispatch.
+	via *serveConn
 }
 
 // executor runs dispatched local rounds and hands their results back to
@@ -309,6 +319,7 @@ func (p *slotPool) getUpload() *upload {
 		u := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
+		u.lost, u.via = false, nil
 		return u
 	}
 	p.mu.Unlock()

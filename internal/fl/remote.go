@@ -26,12 +26,15 @@ type WireSafe interface {
 // validateWire rejects configurations the wire path cannot execute
 // faithfully. Adversaries and freeloaders are out: their fabricators and
 // injectors run on the dispatch path with server-held state (prevGlobal,
-// window clocks) that workers do not have. Checkpointing is out: the
-// snapshot serializes in-flight ring state the server no longer computes.
-// The servercrash fault is out because it restores from a checkpoint.
-// Scheduler-side faults (crash/drop/dup/slow) stay available — they are
-// resolved from server-owned rng streams before dispatch, so workers
-// never see them.
+// window clocks) that workers do not have. Checkpointing — and the
+// servercrash fault, which restores from a checkpoint — runs over the
+// wire under the sync and deadline policies, where every dispatch
+// settles inside its round and a snapshot therefore lands on a quiet
+// boundary; under the async policy a snapshot would have to serialize
+// in-flight deltas that may still be crossing the socket, so the
+// combination is rejected. Scheduler-side faults (crash/drop/dup/slow)
+// stay available everywhere — they are resolved from server-owned rng
+// streams before dispatch, so workers never see them.
 func validateWire(cfg *Config, alg Algorithm) error {
 	if _, ok := alg.(WireSafe); !ok {
 		return fmt.Errorf("fl: algorithm %s is not wire-safe (client hooks may read server aggregation state)", alg.Name())
@@ -39,13 +42,14 @@ func validateWire(cfg *Config, alg Algorithm) error {
 	if len(cfg.Adversaries) > 0 || len(cfg.Freeloaders) > 0 {
 		return fmt.Errorf("fl: adversaries are not supported over the wire")
 	}
-	if cfg.CheckpointEvery > 0 || cfg.OnCheckpoint != nil {
-		return fmt.Errorf("fl: checkpointing is not supported over the wire")
-	}
+	ckpt := cfg.CheckpointEvery > 0 || cfg.OnCheckpoint != nil
 	for _, f := range cfg.Faults {
 		if f.Kind == fault.KindServerCrash {
-			return fmt.Errorf("fl: the servercrash fault is not supported over the wire (it restores from a checkpoint)")
+			ckpt = true
 		}
+	}
+	if ckpt && cfg.Policy == PolicyAsync {
+		return fmt.Errorf("fl: checkpointing over the wire requires the sync or deadline policy (async snapshots would serialize in-flight uploads)")
 	}
 	return nil
 }
@@ -72,23 +76,29 @@ func serveFingerprint(cfg *Config, algName, dsName string, numClients, numParams
 // endian float64 bits.
 
 // appendHello encodes a worker's Hello: fingerprint, worker index,
-// worker count.
-func appendHello(dst []byte, fp uint64, index, workers int) []byte {
+// worker count, and the attach counter — the worker's resume token,
+// 0 on its first connection and incremented on every re-dial, so the
+// server can tell a fresh fleet member from one re-attaching after a
+// connection loss (a re-attaching worker's rng streams restart from
+// zero and must be rebuilt by a history replay).
+func appendHello(dst []byte, fp uint64, index, workers, attach int) []byte {
 	dst = wire.AppendU64(dst, fp)
 	dst = wire.AppendUvarint(dst, uint64(index))
-	return wire.AppendUvarint(dst, uint64(workers))
+	dst = wire.AppendUvarint(dst, uint64(workers))
+	return wire.AppendUvarint(dst, uint64(attach))
 }
 
 // parseHello decodes a Hello body.
-func parseHello(body []byte) (fp uint64, index, workers int, err error) {
+func parseHello(body []byte) (fp uint64, index, workers, attach int, err error) {
 	d := wire.Dec{B: body}
 	fp = d.U64()
 	index = int(d.Uvarint())
 	workers = int(d.Uvarint())
+	attach = int(d.Uvarint())
 	if d.Err == nil && d.Len() != 0 {
 		d.Err = fmt.Errorf("fl: %d trailing bytes in hello", d.Len())
 	}
-	return fp, index, workers, d.Err
+	return fp, index, workers, attach, d.Err
 }
 
 // appendDispatch encodes one dispatch batch: the round (the server
@@ -107,13 +117,24 @@ func appendDispatch(dst []byte, round int, ids []int, global []float64) []byte {
 	return dst
 }
 
+// byePausing is the Bye body code for a server that is pausing the run
+// (interrupted, intending a checkpointed restart) rather than completing
+// it; workers surface it as ErrServerPaused. An empty Bye body means the
+// run finished.
+const byePausing byte = 1
+
 // dispatchMsg is one decoded dispatch batch. The slices are owned by the
 // message (workers process dispatches strictly in order, but decode them
-// on the reader goroutine while training runs).
+// on the reader goroutine while training runs). adopt marks a replayed
+// batch the worker trains and discards; restore marks a body-less worker
+// reset (both ride the same in-order queue so a replay lands exactly
+// where the server sequenced it).
 type dispatchMsg struct {
-	round  int
-	ids    []int
-	global []float64
+	round   int
+	ids     []int
+	global  []float64
+	adopt   bool
+	restore bool
 }
 
 // parseDispatch decodes a dispatch body.

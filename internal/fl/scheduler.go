@@ -117,6 +117,11 @@ type scheduler struct {
 	ckptBuf       bytes.Buffer
 	lastCkpt      []byte
 	lastCkptRound int
+
+	// interrupt, when non-nil, requests a graceful pause: the round loop
+	// checks it at every round boundary and stops with a final checkpoint
+	// instead of running to Rounds (ServeOptions.Interrupt).
+	interrupt <-chan struct{}
 }
 
 // participants collects the round's participating clients in ID order
@@ -323,11 +328,26 @@ func (s *scheduler) runRounds(step func(int) (bool, error)) error {
 		}
 	}
 	for t := s.startRound; t < s.cfg.Rounds; {
+		if s.interrupt != nil {
+			select {
+			case <-s.interrupt:
+				return s.pause(t)
+			default:
+			}
+		}
 		if s.plan != nil && s.plan.crashRound == t && !s.serverCrashed {
 			s.serverCrashed = true
 			restored, err := s.restoreLast(true)
 			if err != nil {
 				return err
+			}
+			if rx, ok := s.exec.(*remoteExec); ok {
+				// The restarted server re-dispatches from the restored
+				// round; workers must be rewound to match (reset plus
+				// full history replay, serve.go).
+				if err := rx.resyncWorkers(); err != nil {
+					return err
+				}
 			}
 			s.recovered += t - restored
 			t = restored
@@ -338,7 +358,7 @@ func (s *scheduler) runRounds(step func(int) (bool, error)) error {
 			return err
 		}
 		if halt {
-			if s.lastCkpt != nil && s.rollbacks < maxRollbacks {
+			if s.lastCkpt != nil && s.rollbacks < maxRollbacks && s.canRollback() {
 				restored, err := s.restoreLast(false)
 				if err != nil {
 					return err
@@ -363,6 +383,73 @@ func (s *scheduler) runRounds(step func(int) (bool, error)) error {
 	s.run.RecoveredRounds = s.recovered
 	s.run.Rollbacks = s.rollbacks
 	return nil
+}
+
+// pause ends the run early at a round boundary after an interrupt
+// (SIGINT on cmd/flserver): take a final checkpoint when checkpointing
+// is armed — the blob ServeResume restarts from — mark the result, and
+// flag the executor so its Bye tells workers the server is pausing, not
+// done (they surface ErrServerPaused and re-attach to the restarted
+// server).
+func (s *scheduler) pause(t int) error {
+	if s.wantCheckpoints() && t != s.lastCkptRound {
+		if err := s.snapshot(t); err != nil {
+			return err
+		}
+	}
+	s.run.HaltRound = t
+	s.run.HaltReason = "interrupted"
+	s.run.RecoveredRounds = s.recovered
+	s.run.Rollbacks = s.rollbacks
+	if rx, ok := s.exec.(*remoteExec); ok {
+		rx.setPausing()
+	}
+	return nil
+}
+
+// canRollback reports whether the divergence rollback (restore keeping
+// live rng cursors so the replay draws fresh batches) is available. The
+// wire path cannot use it: worker rng streams live in other processes
+// and the rollback deliberately does NOT rewind cursors, so there is no
+// consistent worker state to rebuild — a diverged wire run halts with
+// its checkpoint on disk instead.
+func (s *scheduler) canRollback() bool {
+	_, remote := s.exec.(*remoteExec)
+	return !remote
+}
+
+// drainRecoveryInto folds the executor's failover counters since the
+// last round into the round record (always zero for in-process runs).
+func (s *scheduler) drainRecoveryInto(rec *metrics.Round) {
+	if rx, ok := s.exec.(*remoteExec); ok {
+		rec.ReassignedDispatches, rec.WorkerReconnects = rx.drainRecovery()
+	}
+}
+
+// compactLost drops updates whose worker connection was lost with
+// failover exhausted (serve.go marks their ring entries lost): the
+// entries are released and the kept updates left-compacted in place
+// alongside their ids, measured times, and dup flags. The survivors'
+// order is unchanged, so the aggregation stays deterministic given
+// which workers were lost.
+func (s *scheduler) compactLost(include []int, updates []Update, measured []float64, dup []bool) (kept, lost int) {
+	for j := range updates {
+		if updates[j].ring != nil && updates[j].ring.lost {
+			s.exec.release(&updates[j])
+			lost++
+			continue
+		}
+		if lost > 0 {
+			include[kept] = include[j]
+			updates[kept] = updates[j]
+			measured[kept] = measured[j]
+			if dup != nil {
+				dup[kept] = dup[j]
+			}
+		}
+		kept++
+	}
+	return kept, lost
 }
 
 // syncRound executes one synchronous round; halt reports divergence.
@@ -416,6 +503,16 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		if err := s.exec.settle(updates, measured); err != nil {
 			return false, err
 		}
+		if kept, lost := s.compactLost(include, updates, measured, dup); lost > 0 {
+			include = include[:kept]
+			updates = updates[:kept]
+			measured = measured[:kept]
+			if dup != nil {
+				dup = dup[:kept]
+			}
+			roundDropped += lost
+			degraded = s.degraded(len(include), len(ids))
+		}
 	}
 
 	if !faulty {
@@ -466,6 +563,7 @@ func (s *scheduler) syncRound(t int) (halt bool, err error) {
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
+	s.drainRecoveryInto(&rec)
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
 	s.now += slowestModeled
@@ -565,6 +663,7 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 
 	updates := s.updates[:len(include)]
 	measured := s.measured[:len(include)]
+	lostN := 0
 	if len(include) > 0 {
 		if err := s.exec.runRound(&s.cfg, s.alg, s.clients, include, t, s.now, s.params, s.wPrev, updates, measured); err != nil {
 			return false, err
@@ -572,6 +671,19 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		if err := s.exec.settle(updates, measured); err != nil {
 			return false, err
 		}
+		var kept int
+		kept, lostN = s.compactLost(include, updates, measured, dup)
+		if lostN > 0 {
+			include = include[:kept]
+			updates = updates[:kept]
+			measured = measured[:kept]
+			if dup != nil {
+				dup = dup[:kept]
+			}
+			roundDropped += lostN
+		}
+	}
+	if len(include) > 0 {
 		halt = s.aggregate(t, updates)
 	} else {
 		s.lastHonestW, s.lastCorruptW = 0, 0
@@ -600,13 +712,14 @@ func (s *scheduler) deadlineRound(t int) (halt bool, err error) {
 		Retries:            roundRetries,
 		DroppedUpdates:     roundDropped,
 		DupUpdates:         roundDups,
-		Degraded:           faulty && s.degraded(len(include), len(ids)),
+		Degraded:           (faulty || lostN > 0) && s.degraded(len(include), len(ids)),
 		ZeroedUpdates:      zeroed,
 		ClippedUpdates:     clipped,
 		ClipNorm:           clipNorm,
 		UplinkBytes:        upBytes,
 		CompressionRatio:   upRatio,
 	}
+	s.drainRecoveryInto(&rec)
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
 	s.now += roundDur
@@ -719,6 +832,14 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		if err := s.exec.settleOne(&f.update, &f.measured); err != nil {
 			return false, err
 		}
+		if f.update.ring != nil && f.update.ring.lost {
+			// A worker died with this dispatch in flight and nobody could
+			// adopt it. The async pipeline cannot drop it (the buffer
+			// trigger accounting would diverge from the modeled clock), so
+			// this is fatal — sync and deadline runs degrade instead.
+			s.exec.release(&f.update)
+			return false, fmt.Errorf("fl: worker lost with client %d in flight (the async policy cannot drop in-flight updates; use sync or deadline for degraded operation)", id)
+		}
 		if !s.active[id] {
 			// Expelled while in flight: upload discarded, ring entry recycled.
 			s.exec.release(&f.update)
@@ -818,6 +939,7 @@ func (s *scheduler) asyncStep(t int) (halt bool, err error) {
 		UplinkBytes:        upBytes + s.stepDupBytes,
 		CompressionRatio:   upRatio,
 	}
+	s.drainRecoveryInto(&rec)
 	s.recordAccuracy(t, &rec)
 	s.run.Append(rec)
 	s.lastAgg = s.now

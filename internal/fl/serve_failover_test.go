@@ -1,0 +1,441 @@
+package fl_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/compress"
+	"repro/internal/fault"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+)
+
+// failoverCodecs is the acceptance matrix: worker failure must be
+// survivable bit-identically under dense and sparse transport.
+var failoverCodecs = []struct {
+	name string
+	spec compress.Spec
+}{
+	{"dense", compress.Spec{}},
+	{"topk", compress.Spec{Kind: compress.KindTopK, TopKFrac: 0.25}},
+}
+
+// killAfterFrames wraps a worker-side connection and closes it the
+// moment n complete inbound frames have been delivered — a
+// deterministic way to die at a frame boundary mid-run, independent of
+// scheduling. The worker still processes the final frame (the bytes
+// were delivered) but its reply write fails, so the server sees the
+// frame's dispatches as in-flight on a dead connection.
+type killAfterFrames struct {
+	net.Conn
+	mu     sync.Mutex
+	remain int
+	header []byte
+	body   int
+	done   bool
+}
+
+func (k *killAfterFrames) Read(p []byte) (int, error) {
+	n, err := k.Conn.Read(p)
+	if n > 0 {
+		k.mu.Lock()
+		kill := k.feed(p[:n])
+		k.mu.Unlock()
+		if kill {
+			k.Conn.Close()
+		}
+	}
+	return n, err
+}
+
+// feed advances the frame-boundary state machine (7-byte header with a
+// little-endian u32 body length) and reports whether the kill
+// threshold was just crossed.
+func (k *killAfterFrames) feed(b []byte) bool {
+	for len(b) > 0 && !k.done {
+		if k.body > 0 {
+			take := min(k.body, len(b))
+			k.body -= take
+			b = b[take:]
+		} else {
+			take := min(7-len(k.header), len(b))
+			k.header = append(k.header, b[:take]...)
+			b = b[take:]
+			if len(k.header) < 7 {
+				return false
+			}
+			k.body = int(binary.LittleEndian.Uint32(k.header[3:]))
+			k.header = k.header[:0]
+		}
+		if k.body == 0 {
+			k.remain--
+			if k.remain == 0 {
+				k.done = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stripRecovery additionally clears the failover counters — legitimate
+// differences between a disturbed run and the clean comparator.
+func stripRecovery(rounds []metrics.Round) []metrics.Round {
+	out := stripMeasured(rounds)
+	for i := range out {
+		out[i].ReassignedDispatches = 0
+		out[i].WorkerReconnects = 0
+	}
+	return out
+}
+
+// assertSameRun requires bit-identical final weights and round metrics
+// (measured wall times and recovery counters excluded).
+func assertSameRun(t *testing.T, local, wired *fl.Result) {
+	t.Helper()
+	if len(wired.FinalParams) != len(local.FinalParams) {
+		t.Fatalf("param count %d != %d", len(wired.FinalParams), len(local.FinalParams))
+	}
+	for i := range local.FinalParams {
+		if wired.FinalParams[i] != local.FinalParams[i] {
+			t.Fatalf("FinalParams[%d]: wire %v != local %v (first mismatch)", i, wired.FinalParams[i], local.FinalParams[i])
+		}
+	}
+	lr, wr := stripRecovery(local.Run.Rounds), stripRecovery(wired.Run.Rounds)
+	if !reflect.DeepEqual(lr, wr) {
+		for i := range lr {
+			if i < len(wr) && !reflect.DeepEqual(lr[i], wr[i]) {
+				t.Fatalf("round %d metrics diverge:\nlocal %+v\nwire  %+v", i, lr[i], wr[i])
+			}
+		}
+		t.Fatalf("round counts diverge: local %d, wire %d", len(lr), len(wr))
+	}
+}
+
+// totalRecovery sums the per-round failover counters.
+func totalRecovery(run *metrics.Run) (re, rc int) {
+	return run.TotalReassignedDispatches(), run.TotalWorkerReconnects()
+}
+
+// TestServeFailoverKillWorker is the tentpole acceptance test: one of
+// two workers dies mid-round (its connection closes right after the
+// round-2 dispatch is delivered, before the reply), the survivor adopts
+// its clients by history replay, and the run finishes bit-identical to
+// the uninterrupted in-process fl.Run — under dense and top-k codecs.
+func TestServeFailoverKillWorker(t *testing.T) {
+	for _, tc := range failoverCodecs {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickConfig()
+			cfg.Compress = tc.spec
+			network, shards, test := testSetup(t, 8)
+			local, err := fl.Run(cfg, baselines.NewFedAvg(), network, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					errs[0] = err
+					return
+				}
+				errs[0] = fl.RunWorker(conn, 0, 2, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+			}()
+			go func() {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					errs[1] = err
+					return
+				}
+				// Dies after the third inbound frame (dispatches for
+				// rounds 0, 1, 2): round 2 is left in flight.
+				kc := &killAfterFrames{Conn: conn, remain: 3}
+				errs[1] = fl.RunWorkerOpts(kc, fl.WorkerOptions{Index: 1, Workers: 2}, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+			}()
+			opt := fl.ServeOptions{Workers: 2, HeartbeatSec: -1}
+			wired, serveErr := fl.Serve(ln, opt, cfg, baselines.NewFedAvg(), network, shards, test)
+			ln.Close()
+			wg.Wait()
+			if serveErr != nil {
+				t.Fatal(serveErr)
+			}
+			if errs[0] != nil {
+				t.Fatalf("surviving worker: %v", errs[0])
+			}
+			if errs[1] == nil {
+				t.Fatal("killed worker returned nil — the kill never fired")
+			}
+			assertSameRun(t, local, wired)
+			if re, _ := totalRecovery(wired.Run); re == 0 {
+				t.Fatal("no dispatches were reassigned — failover never engaged")
+			}
+		})
+	}
+}
+
+// TestServeFailoverReconnect pins re-admission: with reassignment
+// disabled and a grace window, a worker that dies mid-round and
+// re-dials (Attach=1) is reset, rebuilt by history replay, and the run
+// still finishes bit-identical to fl.Run.
+func TestServeFailoverReconnect(t *testing.T) {
+	cfg := quickConfig()
+	network, shards, test := testSetup(t, 8)
+	local, err := fl.Run(cfg, baselines.NewFedAvg(), network, shards, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		errs[0] = fl.RunWorker(conn, 0, 2, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+	}()
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			errs[1] = err
+			return
+		}
+		kc := &killAfterFrames{Conn: conn, remain: 2}
+		if err := fl.RunWorkerOpts(kc, fl.WorkerOptions{Index: 1, Workers: 2}, cfg, baselines.NewFedAvg(), network, shards, test.Name); err == nil {
+			errs[1] = errors.New("killed worker returned nil — the kill never fired")
+			return
+		}
+		conn2, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			errs[1] = err
+			return
+		}
+		errs[1] = fl.RunWorkerOpts(conn2, fl.WorkerOptions{Index: 1, Workers: 2, Attach: 1}, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+	}()
+	opt := fl.ServeOptions{Workers: 2, HeartbeatSec: -1, DisableReassign: true, FailoverGraceSec: 30}
+	wired, serveErr := fl.Serve(ln, opt, cfg, baselines.NewFedAvg(), network, shards, test)
+	ln.Close()
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("worker %d: %v", i, e)
+		}
+	}
+	assertSameRun(t, local, wired)
+	re, rc := totalRecovery(wired.Run)
+	if rc == 0 || re == 0 {
+		t.Fatalf("reassigned %d, reconnects %d — re-admission never engaged", re, rc)
+	}
+}
+
+// TestServeServerCrashReplay extends the in-process crash-replay pin
+// over the loopback wire: a servercrash fault restores the last
+// checkpoint mid-run, workers are rewound by a reset-and-replay, and
+// the re-executed rounds are bit-identical to a clean run.
+func TestServeServerCrashReplay(t *testing.T) {
+	for _, tc := range failoverCodecs {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := quickConfig()
+			clean.Compress = tc.spec
+			network, shards, test := testSetup(t, 8)
+			local, err := fl.Run(clean, baselines.NewFedAvg(), network, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := clean
+			cfg.Faults = []fault.Spec{{Kind: fault.KindServerCrash, Round: 3}}
+			cfg.CheckpointEvery = 2
+			wired := runWire(t, cfg, 2, fl.ServeOptions{})
+			if wired.Run.RecoveredRounds == 0 {
+				t.Fatal("RecoveredRounds = 0: the crash never fired")
+			}
+			assertSameRun(t, local, wired)
+		})
+	}
+}
+
+// TestServeResumeRestart pins the checkpointed server restart: the
+// server is interrupted mid-run (final checkpoint, pausing Bye), the
+// workers observe ErrServerPaused, and a NEW server process restarted
+// from the checkpoint (ServeResume, fresh listener, re-attaching
+// workers) finishes the run bit-identical to an uninterrupted fl.Run.
+func TestServeResumeRestart(t *testing.T) {
+	for _, tc := range failoverCodecs {
+		t.Run(tc.name, func(t *testing.T) {
+			clean := quickConfig()
+			clean.Compress = tc.spec
+			network, shards, test := testSetup(t, 8)
+			local, err := fl.Run(clean, baselines.NewFedAvg(), network, shards, test)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := clean
+			cfg.CheckpointEvery = 2
+			var blob []byte
+			interrupt := make(chan struct{})
+			var once sync.Once
+			cfg.OnCheckpoint = func(round int, b []byte) {
+				blob = append(blob[:0], b...)
+				if round >= 4 {
+					once.Do(func() { close(interrupt) })
+				}
+			}
+
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make([]error, 2)
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn, err := net.Dial("tcp", ln.Addr().String())
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					errs[i] = fl.RunWorker(conn, i, 2, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+				}(i)
+			}
+			opt := fl.ServeOptions{Workers: 2, HeartbeatSec: -1, Interrupt: interrupt}
+			paused, serveErr := fl.Serve(ln, opt, cfg, baselines.NewFedAvg(), network, shards, test)
+			ln.Close()
+			wg.Wait()
+			if serveErr != nil {
+				t.Fatal(serveErr)
+			}
+			if paused.Run.HaltReason != "interrupted" {
+				t.Fatalf("HaltReason %q, want interrupted", paused.Run.HaltReason)
+			}
+			for i, e := range errs {
+				if !errors.Is(e, fl.ErrServerPaused) {
+					t.Fatalf("worker %d: got %v, want ErrServerPaused", i, e)
+				}
+			}
+			if len(blob) == 0 {
+				t.Fatal("no checkpoint captured")
+			}
+
+			// Restart: fresh listener, ServeResume from the checkpoint,
+			// workers re-attach.
+			ln2, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn, err := net.Dial("tcp", ln2.Addr().String())
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					errs[i] = fl.RunWorkerOpts(conn, fl.WorkerOptions{Index: i, Workers: 2, Attach: 1}, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+				}(i)
+			}
+			opt.Interrupt = nil
+			wired, resumeErr := fl.ServeResume(ln2, opt, blob, cfg, baselines.NewFedAvg(), network, shards, test)
+			ln2.Close()
+			wg.Wait()
+			if resumeErr != nil {
+				t.Fatal(resumeErr)
+			}
+			for i, e := range errs {
+				if e != nil {
+					t.Fatalf("re-attached worker %d: %v", i, e)
+				}
+			}
+			assertSameRun(t, local, wired)
+		})
+	}
+}
+
+// TestServeDegradedLostWorker pins the quorum path: with reassignment
+// disabled, no grace, and no reconnect, a dead worker's dispatches are
+// lost — the run survives, committing sub-quorum rounds as Degraded
+// with the losses counted as dropped updates.
+func TestServeDegradedLostWorker(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Faults = []fault.Spec{{Kind: fault.KindDup, Frac: 0.01}}
+	cfg.Quorum = 0.6
+	network, shards, test := testSetup(t, 8)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		errs[0] = fl.RunWorker(conn, 0, 2, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+	}()
+	go func() {
+		defer wg.Done()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			errs[1] = err
+			return
+		}
+		kc := &killAfterFrames{Conn: conn, remain: 2}
+		errs[1] = fl.RunWorkerOpts(kc, fl.WorkerOptions{Index: 1, Workers: 2}, cfg, baselines.NewFedAvg(), network, shards, test.Name)
+	}()
+	opt := fl.ServeOptions{Workers: 2, HeartbeatSec: -1, DisableReassign: true}
+	res, serveErr := fl.Serve(ln, opt, cfg, baselines.NewFedAvg(), network, shards, test)
+	ln.Close()
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatal(serveErr)
+	}
+	if errs[0] != nil {
+		t.Fatalf("surviving worker: %v", errs[0])
+	}
+	if errs[1] == nil {
+		t.Fatal("killed worker returned nil — the kill never fired")
+	}
+	if got := res.Run.DegradedRounds(); got == 0 {
+		t.Fatal("no Degraded rounds despite half the fleet being lost")
+	}
+	if got := res.Run.TotalDroppedUpdates(); got < 4 {
+		t.Fatalf("TotalDroppedUpdates = %d, want >= 4 (one worker's clients per lost round)", got)
+	}
+	if len(res.Run.Rounds) != cfg.Rounds {
+		t.Fatalf("run stopped early: %d/%d rounds", len(res.Run.Rounds), cfg.Rounds)
+	}
+}

@@ -160,7 +160,8 @@ func TestServeGoldenFaults(t *testing.T) {
 }
 
 // TestServeRejectsUnsafe pins validateWire: stateful algorithms and
-// checkpointing cannot run over the wire and must fail loudly up front.
+// async-policy checkpointing cannot run over the wire and must fail
+// loudly up front.
 func TestServeRejectsUnsafe(t *testing.T) {
 	network, shards, test := testSetup(t, 8)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -174,8 +175,10 @@ func TestServeRejectsUnsafe(t *testing.T) {
 		t.Fatalf("stateful algorithm: got err %v, want wire-safe rejection", err)
 	}
 	cfg.CheckpointEvery = 2
+	cfg.Policy = fl.PolicyAsync
+	cfg.AsyncBuffer = 3
 	if _, err := fl.Serve(ln, fl.ServeOptions{Workers: 1}, cfg, baselines.NewFedAvg(), network, shards, test); err == nil || !strings.Contains(err.Error(), "checkpointing") {
-		t.Fatalf("checkpointing: got err %v, want rejection", err)
+		t.Fatalf("async checkpointing: got err %v, want rejection", err)
 	}
 
 	c1, c2 := net.Pipe()

@@ -1,9 +1,11 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/dataset"
@@ -12,13 +14,44 @@ import (
 	"repro/internal/wire"
 )
 
-// RunWorker executes the client side of a wire run (cmd/flserver -mode
-// worker): it replays the engine's rng derivation order from the shared
-// seed, announces itself with the config fingerprint, and then trains
-// every dispatched batch on an in-process slot pool, streaming the
-// results back as Updates frames. index/workers must match the server's
-// ServeOptions — the worker owns clients [index·n/W, (index+1)·n/W).
-// The connection is closed when RunWorker returns.
+// ErrServerPaused is returned by RunWorker when the server shut the run
+// down before completion — an interrupted (SIGINT/SIGTERM) flserver that
+// intends to restart from a checkpoint. The worker should re-dial and
+// re-attach; a clean Bye (run complete) returns nil instead.
+var ErrServerPaused = errors.New("fl: server paused the run (re-attach after it restarts)")
+
+// WorkerOptions configures the connection-level behavior of RunWorkerOpts.
+type WorkerOptions struct {
+	// Index and Workers place this worker in the fleet: it initially owns
+	// the contiguous client range [Index·n/W, (Index+1)·n/W). Failover may
+	// later adopt clients outside that range onto it.
+	Index, Workers int
+	// Attach is the re-attach counter sent in Hello: 0 on the first
+	// connection, incremented on every re-dial after a connection loss.
+	// A positive Attach tells the server this worker's rng streams are
+	// fresh and must be rebuilt by a history replay before new dispatches.
+	Attach int
+	// HeartbeatSec bounds read liveness: when positive, the worker arms a
+	// read deadline of FaultTimeoutFactor (default 3) × HeartbeatSec
+	// before every frame read, so a dead server is detected instead of
+	// blocking forever. It should match the server's
+	// ServeOptions.HeartbeatSec (the server's Pings are what keep the
+	// deadline fed between dispatches). 0 disables the deadline.
+	HeartbeatSec float64
+}
+
+// RunWorker executes the client side of a wire run with default
+// connection options; see RunWorkerOpts.
+func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, network *nn.Network, shards []*dataset.Dataset, dsName string) error {
+	return RunWorkerOpts(conn, WorkerOptions{Index: index, Workers: workers}, cfg, alg, network, shards, dsName)
+}
+
+// RunWorkerOpts executes the client side of a wire run (cmd/flserver
+// -mode worker): it replays the engine's rng derivation order from the
+// shared seed, announces itself with the config fingerprint, and then
+// trains every dispatched batch on an in-process slot pool, streaming
+// the results back as Updates frames. The connection is closed when it
+// returns.
 //
 // Bit-identity with fl.Run rests on the derivation ORDER contract
 // (newSchedulerExec): the worker derives init, then every client
@@ -29,7 +62,17 @@ import (
 // bit-identical to its in-process twin. Given identical streams and
 // identical training code, every delta, loss, and encoded payload
 // matches the in-process run to the bit.
-func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, network *nn.Network, shards []*dataset.Dataset, dsName string) error {
+//
+// Failover (DESIGN.md §12) extends the contract across worker loss: the
+// worker derives streams for ALL n clients but only advances the ones it
+// trains, so the server can move a dead worker's clients onto a survivor
+// by replaying their full dispatch history as Adopt frames (train and
+// discard — each replayed batch advances the sampler and quantization
+// streams exactly as the original training did). A Restore frame resets
+// the worker to its freshly-started state (fresh root, empty residuals)
+// so the same replay mechanism serves a server restarting from a
+// checkpoint behind live workers.
+func RunWorkerOpts(conn net.Conn, opt WorkerOptions, cfg Config, alg Algorithm, network *nn.Network, shards []*dataset.Dataset, dsName string) error {
 	defer conn.Close()
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -37,37 +80,26 @@ func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, net
 	if err := validateWire(&cfg, alg); err != nil {
 		return err
 	}
+	index, workers := opt.Index, opt.Workers
 	if workers <= 0 || index < 0 || index >= workers {
 		return fmt.Errorf("fl: worker index %d out of range [0,%d)", index, workers)
 	}
 	n := len(shards)
 	fp := serveFingerprint(&cfg, alg.Name(), dsName, n, network.NumParams())
 
-	// Replay the derivation order (see the doc comment above).
-	root := rng.New(cfg.Seed)
-	_ = root.Derive("init", 0)
-	clients := make([]*client, n)
-	dataSizes := make([]int, n)
-	for i, shard := range shards {
-		if shard.Len() == 0 {
-			return fmt.Errorf("fl: client %d has no data", i)
-		}
-		clients[i] = &client{
-			id:      i,
-			data:    shard,
-			sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
-		}
-		dataSizes[i] = shard.Len()
-	}
-	_ = root.Derive("participation", 0)
-
 	env := &Env{
 		Net:        network,
 		NumClients: n,
 		NumParams:  network.NumParams(),
-		DataSizes:  dataSizes,
+		DataSizes:  make([]int, n),
 		Devices:    cfg.devices(n),
 		Cfg:        cfg,
+	}
+	for i, shard := range shards {
+		if shard.Len() == 0 {
+			return fmt.Errorf("fl: client %d has no data", i)
+		}
+		env.DataSizes[i] = shard.Len()
 	}
 	alg, err := wrapStack(alg, &cfg)
 	if err != nil {
@@ -75,56 +107,95 @@ func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, net
 	}
 	alg.Setup(env)
 
-	lo, hi := index*n/workers, (index+1)*n/workers
-	owned := max(1, hi-lo)
-	pool := newSlotPool(network, cfg, owned)
+	// The pool is sized for the whole fleet, not just the initially owned
+	// range: failover can adopt any client onto this worker.
+	pool := newSlotPool(network, cfg, n)
 	defer pool.close()
-	if cfg.Compress.Kind != compress.KindNone {
-		codec, err := cfg.Compress.Codec()
-		if err != nil {
-			return fmt.Errorf("fl: %w", err)
+
+	clients := make([]*client, n)
+	// reset (re)builds every client-held rng stream by replaying the
+	// derivation order from a fresh root — the worker's freshly-started
+	// state, which a Restore frame rewinds to before a history replay.
+	reset := func() error {
+		root := rng.New(cfg.Seed)
+		_ = root.Derive("init", 0)
+		for i, shard := range shards {
+			clients[i] = &client{
+				id:      i,
+				data:    shard,
+				sampler: dataset.NewSampler(shard, root.Derive("sampler", i)),
+			}
 		}
-		comp := &compressor{codec: codec, streams: make([]*rng.RNG, n)}
-		if cfg.isF32() {
-			comp.resid32 = make([][]float32, n)
-		} else {
-			comp.resid = make([][]float64, n)
+		_ = root.Derive("participation", 0)
+		if cfg.Compress.Kind != compress.KindNone {
+			codec, err := cfg.Compress.Codec()
+			if err != nil {
+				return fmt.Errorf("fl: %w", err)
+			}
+			comp := &compressor{codec: codec, streams: make([]*rng.RNG, n)}
+			if cfg.isF32() {
+				comp.resid32 = make([][]float32, n)
+			} else {
+				comp.resid = make([][]float64, n)
+			}
+			for i := range comp.streams {
+				comp.streams[i] = root.Derive("compress", i)
+			}
+			pool.comp = comp
 		}
-		for i := range comp.streams {
-			comp.streams[i] = root.Derive("compress", i)
-		}
-		pool.comp = comp
+		return nil
+	}
+	if err := reset(); err != nil {
+		return err
 	}
 
-	wbuf, err := wire.WriteFrame(conn, wire.FrameHello, appendHello(nil, fp, index, workers), nil)
-	if err != nil {
+	w := &workerLoop{conn: conn, fp: fp, heartbeat: opt.HeartbeatSec, timeoutFactor: cfg.faultTimeoutFactor()}
+	w.cond = sync.NewCond(&w.mu)
+
+	hello := wire.BeginFrame(nil, wire.FrameHello)
+	hello = appendHello(hello, fp, index, workers, opt.Attach)
+	wire.EndFrame(hello, 0)
+	if err := w.write(hello); err != nil {
 		return fmt.Errorf("fl: sending hello: %w", err)
 	}
-
-	w := &workerLoop{conn: conn}
-	w.cond = sync.NewCond(&w.mu)
 	go w.readLoop()
 
-	updates := make([]Update, owned)
-	measured := make([]float64, owned)
+	wbuf := hello
+	updates := make([]Update, n)
+	measured := make([]float64, n)
 	for {
 		m, ok := w.next()
 		if !ok {
 			break
 		}
+		if m.restore {
+			if err := reset(); err != nil {
+				return err
+			}
+			continue
+		}
 		k := len(m.ids)
 		for _, id := range m.ids {
-			if id < lo || id >= hi {
-				return fmt.Errorf("fl: dispatched client %d outside owned range [%d,%d)", id, lo, hi)
+			if id < 0 || id >= n {
+				return fmt.Errorf("fl: dispatched client %d outside fleet [0,%d)", id, n)
 			}
 		}
-		if k > len(updates) {
+		if k > n {
 			// A client is in flight at most once under every policy, so a
-			// batch larger than the owned range is a protocol violation.
-			return fmt.Errorf("fl: dispatch of %d clients exceeds owned range size %d", k, hi-lo)
+			// batch larger than the fleet is a protocol violation.
+			return fmt.Errorf("fl: dispatch of %d clients exceeds fleet size %d", k, n)
 		}
 		if err := pool.runRound(&cfg, alg, clients, m.ids, m.round, 0, m.global, m.global, updates[:k], measured[:k]); err != nil {
 			return err
+		}
+		if m.adopt {
+			// Adopted history: the training advanced this worker's streams
+			// (and EF residuals) exactly as the original run did; the server
+			// already holds the results, so nothing is uploaded.
+			for j := 0; j < k; j++ {
+				pool.release(&updates[j])
+			}
+			continue
 		}
 		buf := wire.BeginFrame(wbuf[:0], wire.FrameUpdates)
 		buf = wire.AppendUvarint(buf, uint64(k))
@@ -139,7 +210,7 @@ func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, net
 			// abandoned, not sent (the server is only waiting for EOF).
 			break
 		}
-		if _, err := conn.Write(buf); err != nil {
+		if err := w.write(buf); err != nil {
 			return fmt.Errorf("fl: sending updates: %w", err)
 		}
 		for j := 0; j < k; j++ {
@@ -156,14 +227,33 @@ func RunWorker(conn net.Conn, index, workers int, cfg Config, alg Algorithm, net
 // bounded in practice by the server's pipelining), and the Hold/Resume
 // gate the training loop blocks on before each upload.
 type workerLoop struct {
-	conn net.Conn
+	conn          net.Conn
+	fp            uint64
+	heartbeat     float64
+	timeoutFactor float64
+
+	// wmu serializes frame writes: the training loop writes Hello/Updates
+	// while the reader goroutine answers Pings with Pongs.
+	wmu     sync.Mutex
+	pongBuf []byte
 
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []*dispatchMsg
 	done  bool
 	held  bool
-	err   error
+	// paused marks a Bye whose body flags an interrupted (not completed)
+	// run; readErr surfaces it as ErrServerPaused.
+	paused bool
+	err    error
+}
+
+// write sends one pre-framed buffer under the write lock.
+func (w *workerLoop) write(frame []byte) error {
+	w.wmu.Lock()
+	_, err := w.conn.Write(frame)
+	w.wmu.Unlock()
+	return err
 }
 
 // next pops the oldest queued dispatch, waiting for one; ok is false
@@ -202,10 +292,14 @@ func (w *workerLoop) stopped() bool {
 	return w.done
 }
 
-// readErr reports why the job stream ended: nil after a clean Bye.
+// readErr reports why the job stream ended: nil after a clean Bye,
+// ErrServerPaused after an interrupting one.
 func (w *workerLoop) readErr() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.err == nil && w.paused {
+		return ErrServerPaused
+	}
 	return w.err
 }
 
@@ -221,28 +315,48 @@ func (w *workerLoop) fail(err error) {
 	w.mu.Unlock()
 }
 
-// readLoop decodes incoming frames until the stream ends. Dispatches
-// queue up behind the training loop (the queue is what the server's
-// pipelining fills); Hold/Resume flip the upload gate; Bye ends the
-// stream cleanly.
+// readLoop decodes incoming frames until the stream ends. Dispatches and
+// the failover frames (Adopt, Restore) queue up behind the training loop
+// (the queue preserves the server's per-client replay order); Hold/
+// Resume flip the upload gate; Ping is answered immediately; Bye ends
+// the stream cleanly.
 func (w *workerLoop) readLoop() {
 	var fr wire.Frame
 	for {
+		if w.heartbeat > 0 {
+			deadline := time.Duration(w.timeoutFactor * w.heartbeat * float64(time.Second))
+			_ = w.conn.SetReadDeadline(time.Now().Add(deadline))
+		}
 		if err := wire.ReadFrame(w.conn, &fr); err != nil {
 			w.fail(fmt.Errorf("fl: reading from server: %w", err))
 			return
 		}
 		switch fr.Type {
-		case wire.FrameDispatch:
+		case wire.FrameDispatch, wire.FrameAdopt:
 			m, err := parseDispatch(fr.Body)
 			if err != nil {
 				w.fail(err)
 				return
 			}
+			m.adopt = fr.Type == wire.FrameAdopt
 			w.mu.Lock()
 			w.queue = append(w.queue, m)
 			w.cond.Broadcast()
 			w.mu.Unlock()
+		case wire.FrameRestore:
+			w.mu.Lock()
+			w.queue = append(w.queue, &dispatchMsg{restore: true})
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		case wire.FramePing:
+			w.wmu.Lock()
+			var err error
+			w.pongBuf, err = wire.WriteFrame(w.conn, wire.FramePong, nil, w.pongBuf)
+			w.wmu.Unlock()
+			if err != nil {
+				w.fail(fmt.Errorf("fl: answering ping: %w", err))
+				return
+			}
 		case wire.FrameHold:
 			w.mu.Lock()
 			w.held = true
@@ -254,12 +368,13 @@ func (w *workerLoop) readLoop() {
 			w.mu.Unlock()
 		case wire.FrameBye:
 			w.mu.Lock()
+			w.paused = len(fr.Body) > 0 && fr.Body[0] == byePausing
 			w.done = true
 			w.cond.Broadcast()
 			w.mu.Unlock()
 			return
 		case wire.FrameReject:
-			w.fail(fmt.Errorf("fl: server rejected worker: %s", fr.Body))
+			w.fail(fmt.Errorf("fl: server rejected worker (this worker's config fingerprint %016x): %s", w.fp, fr.Body))
 			return
 		default:
 			w.fail(fmt.Errorf("fl: unexpected frame type %d from server", fr.Type))

@@ -73,6 +73,15 @@ type Round struct {
 	// CompressionRatio is the round's dense-over-encoded byte ratio
 	// (1 for dense transport, 0 when no updates were aggregated).
 	CompressionRatio float64
+	// ReassignedDispatches counts in-flight dispatches re-sent after a
+	// worker connection was lost this round — to a surviving worker that
+	// adopted the dead worker's clients, or to the same worker after it
+	// reconnected. 0 for in-process runs and failure-free wire rounds.
+	ReassignedDispatches int
+	// WorkerReconnects counts worker connections re-admitted this round
+	// after a connection loss (the Hello resume token matched a known
+	// worker index and its state was rebuilt by history replay).
+	WorkerReconnects int
 }
 
 // Run is the full history of one FL training run.
@@ -177,6 +186,25 @@ func (r *Run) TotalRetries() int {
 	total := 0
 	for _, rec := range r.Rounds {
 		total += rec.Retries
+	}
+	return total
+}
+
+// TotalReassignedDispatches sums the in-flight dispatches re-sent after
+// worker connection losses across all rounds.
+func (r *Run) TotalReassignedDispatches() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.ReassignedDispatches
+	}
+	return total
+}
+
+// TotalWorkerReconnects sums the worker re-admissions across all rounds.
+func (r *Run) TotalWorkerReconnects() int {
+	total := 0
+	for _, rec := range r.Rounds {
+		total += rec.WorkerReconnects
 	}
 	return total
 }

@@ -192,3 +192,19 @@ func TestUplinkRollups(t *testing.T) {
 		t.Fatalf("MeanCompressionRatio = %v, want 6", got)
 	}
 }
+
+func TestFailoverRollups(t *testing.T) {
+	var r Run
+	if r.TotalReassignedDispatches() != 0 || r.TotalWorkerReconnects() != 0 {
+		t.Fatal("empty run must report zero failover rollups")
+	}
+	r.Append(Round{Index: 0})
+	r.Append(Round{Index: 1, ReassignedDispatches: 4, WorkerReconnects: 1})
+	r.Append(Round{Index: 2, ReassignedDispatches: 2})
+	if got := r.TotalReassignedDispatches(); got != 6 {
+		t.Fatalf("TotalReassignedDispatches = %d, want 6", got)
+	}
+	if got := r.TotalWorkerReconnects(); got != 1 {
+		t.Fatalf("TotalWorkerReconnects = %d, want 1", got)
+	}
+}

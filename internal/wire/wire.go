@@ -45,8 +45,13 @@ const (
 // FrameType tags a frame's meaning in the flserver protocol.
 type FrameType byte
 
-// Protocol frame types. Hello/Updates flow worker→server; Dispatch, the
-// backpressure pair Hold/Resume, Bye, and Reject flow server→worker.
+// Protocol frame types. Hello/Updates/Pong flow worker→server; Dispatch,
+// the backpressure pair Hold/Resume, Bye, Reject, the liveness probe
+// Ping, and the failover pair Adopt/Restore flow server→worker. Adopt
+// carries a Dispatch-shaped body the worker trains and discards (it
+// advances the worker's per-client rng streams without re-uploading a
+// result the server already holds); Restore is body-less and resets the
+// worker to its freshly-started state before a full history replay.
 const (
 	FrameHello FrameType = iota + 1
 	FrameDispatch
@@ -55,6 +60,10 @@ const (
 	FrameResume
 	FrameBye
 	FrameReject
+	FramePing
+	FramePong
+	FrameAdopt
+	FrameRestore
 )
 
 // BeginFrame appends a frame header with a zero length to dst and returns
